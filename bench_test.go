@@ -1,0 +1,364 @@
+// Benchmarks regenerating every table and figure of the ReD-CaNe paper
+// (one benchmark per artifact, via the experiments harness in quick mode)
+// plus microbenchmarks of the computational kernels. Trained weights are
+// cached under the OS temp dir so repeated bench runs skip training.
+//
+//	go test -bench=. -benchmem
+package redcane
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"redcane/internal/approx"
+	"redcane/internal/caps"
+	"redcane/internal/core"
+	"redcane/internal/datasets"
+	"redcane/internal/experiments"
+	"redcane/internal/models"
+	"redcane/internal/noise"
+	"redcane/internal/tensor"
+	"redcane/internal/train"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+)
+
+// runner returns the shared quick-mode experiment runner.
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir := filepath.Join(os.TempDir(), "redcane-bench-cache")
+		benchRunner = experiments.NewRunner(experiments.Config{Dir: dir, Quick: true, Seed: 42})
+	})
+	return benchRunner
+}
+
+// ---- Paper artifacts ------------------------------------------------
+
+func BenchmarkTable1OpCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ours.Mul/1e9, "Gmul")
+	}
+}
+
+func BenchmarkFig4EnergyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Ours.MulShare, "mul%")
+	}
+}
+
+func BenchmarkFig5Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Results {
+			if s.Scenario.Name == "XM" {
+				b.ReportMetric(-100*s.SavingVsAcc, "XMsaving%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6ErrorProfiles(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Profiles[2].Fit.KS, "KS81")
+	}
+}
+
+func BenchmarkTable2CleanAccuracy(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Accuracy, "cifar%")
+	}
+}
+
+func BenchmarkTable3GroupExtraction(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Groups[0].Sites)), "MACsites")
+	}
+}
+
+func BenchmarkFig9Groupwise(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, g := range res.Groups {
+			if g.Group == noise.Softmax {
+				b.ReportMetric(g.ToleratedNM, "softmaxTolNM")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Layerwise(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Layers)), "layerSweeps")
+	}
+}
+
+func BenchmarkFig11InputDistribution(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.PoolA)), "operands")
+	}
+}
+
+func BenchmarkTable4ComponentNM(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].RealNM, "QKXrealNM")
+	}
+}
+
+func BenchmarkFig12Benchmarks(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res)), "benchmarks")
+	}
+}
+
+func BenchmarkAccelSystemModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Accel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Rows[0].SystemSaving, "NGRsys%")
+	}
+}
+
+// ---- Ablations -------------------------------------------------------
+
+func BenchmarkAblationRoutingIterations(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblationRoutingIterations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.DropByIters[3], "drop3iters%")
+	}
+}
+
+func BenchmarkAblationNoiseVsLUT(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblationNoiseVsLUT()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Rows[0].LUTAccuracy, "NGRlut%")
+	}
+}
+
+func BenchmarkAblationNoiseAverage(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationNoiseAverage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFaultTypes(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationFaultTypes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSelectionStrategy(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblationSelectionStrategy(experiments.Benchmarks[4])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.ReDCaNe.MulSaving, "redcaneSaving%")
+	}
+}
+
+func BenchmarkAblationRangeEstimator(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationRangeEstimator(experiments.Benchmarks[4]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStabilityAcrossSeeds(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Stability(experiments.Benchmarks[4], 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.OrderingHolds), "orderingHolds")
+	}
+}
+
+func BenchmarkDesignEndToEnd(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Design(experiments.Benchmarks[4])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Report.MulEnergySaving, "mulSaving%")
+	}
+}
+
+// ---- Kernel microbenchmarks -----------------------------------------
+
+func BenchmarkConv2DKernel(b *testing.B) {
+	x := tensor.New(8, 16, 16, 16).FillNormal(tensor.NewRNG(1), 0, 1)
+	w := tensor.New(32, 16, 3, 3).FillNormal(tensor.NewRNG(2), 0, 1)
+	bias := tensor.New(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2D(x, w, bias, 1, 1)
+	}
+}
+
+func BenchmarkDynamicRoutingKernel(b *testing.B) {
+	l := &caps.ClassCaps{
+		LayerName: "CC", InCaps: 64, InDim: 8, OutCaps: 10, OutDim: 16,
+		W:                 tensor.New(64, 10, 16, 8).FillGlorot(tensor.NewRNG(3), 8, 16),
+		RoutingIterations: 3,
+	}
+	x := tensor.New(8, 64, 8).FillNormal(tensor.NewRNG(4), 0, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, noise.None{})
+	}
+}
+
+func BenchmarkNoiseInjection(b *testing.B) {
+	x := tensor.New(64*1024).FillNormal(tensor.NewRNG(5), 0, 1)
+	inj := noise.NewGaussian(0.01, 0, noise.All(), 6)
+	site := noise.Site{Layer: "L", Group: noise.MACOutputs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Inject(site, x)
+	}
+}
+
+func BenchmarkLUTMultiply(b *testing.B) {
+	lut := approx.CompileLUT(approx.BrokenCarry{Depth: 6, Compensate: true})
+	b.ResetTimer()
+	var sink uint16
+	for i := 0; i < b.N; i++ {
+		sink ^= lut.Mul(uint8(i), uint8(i>>8))
+	}
+	_ = sink
+}
+
+func BenchmarkCharacterize81MAC(b *testing.B) {
+	c, err := approx.ByName("mul8u_NGR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		approx.Characterize(c.Model, approx.Uniform{}, 81, 10000, 7)
+	}
+}
+
+func BenchmarkTrainEpochCapsNet(b *testing.B) {
+	ds := datasets.MNISTLike(128, 32, 42)
+	spec := models.CapsNet([]int{1, 20, 20}, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := models.BuildTrainer(spec, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calib := tensor.NewFrom(ds.TrainX.Data[:16*400], 16, 1, 20, 20)
+		train.LSUVInit(m, calib, 0.5)
+		b.StartTimer()
+		train.Fit(m, ds, train.Config{Epochs: 1, BatchSize: 32, LR: 1e-3, Seed: 1})
+	}
+}
+
+func BenchmarkInferenceDeepCaps(b *testing.B) {
+	net, err := models.BuildInference(models.DeepCaps([]int{3, 16, 16}, 10), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(8, 3, 16, 16).FillUniform(tensor.NewRNG(8), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, noise.None{})
+	}
+}
+
+func BenchmarkMethodologyGroupSweepSmall(b *testing.B) {
+	// End-to-end Steps 1–3 on an untrained tiny CapsNet: measures the
+	// analysis overhead itself, independent of training.
+	ds := datasets.MNISTLike(32, 64, 42)
+	net, err := models.BuildInference(models.CapsNet([]int{1, 20, 20}, 10), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := &core.Analyzer{Net: net, Data: ds, Opts: core.Options{
+		NMSweep: []float64{0.5, 0.05, 0}, Trials: 1, MaxEval: 32, Seed: 5,
+	}.WithDefaults()}
+	clean := a.CleanAccuracy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AnalyzeGroups(clean)
+	}
+}

@@ -1,0 +1,288 @@
+// Command redcane drives the ReD-CaNe reproduction: training the
+// benchmark CapsNets, regenerating every table and figure of the paper's
+// evaluation, and producing approximate-CapsNet designs with the full
+// 6-step methodology.
+//
+// Usage:
+//
+//	redcane [flags] <command> [args]
+//
+// Commands:
+//
+//	train                     train (or load) all five benchmarks, print Table II
+//	experiment <id>|all       regenerate a paper artifact: table1 table2 table3
+//	                          table4 fig4 fig5 fig6 fig9 fig10 fig11 fig12,
+//	                          ablation-routing ablation-lut ablation-na, or all
+//	design [benchmark]        run the 6-step methodology (default capsnet-mnist-like)
+//	characterize [component]  error profiles of one or all library multipliers
+//	energy                    the energy analysis bundle (table1 + fig4 + fig5)
+//	list                      list benchmarks and experiment ids
+//
+// Flags:
+//
+//	-dir    weight-cache directory (default .redcane-cache)
+//	-quick  reduced dataset/epoch/evaluation sizes
+//	-seed   master seed (default 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"redcane/internal/approx"
+	"redcane/internal/core"
+	"redcane/internal/experiments"
+)
+
+func main() {
+	dir := flag.String("dir", ".redcane-cache", "weight-cache directory")
+	quick := flag.Bool("quick", false, "reduced dataset/epoch/evaluation sizes")
+	seed := flag.Uint64("seed", 42, "master seed")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	jsonPath := flag.String("json", "", "write the design report as JSON to this file (design/refine)")
+	verbose := flag.Bool("v", false, "log progress (training, sweep stages) to stderr")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Dir: *dir, Quick: *quick, Seed: *seed}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	r := experiments.NewRunner(cfg)
+	ctx := &cli{runner: r, csvDir: *csvDir, jsonPath: *jsonPath}
+	if err := ctx.run(os.Stdout, flag.Arg(0), flag.Args()[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "redcane:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: redcane [-dir cache] [-quick] [-seed n] <command>
+
+commands:
+  train                     train (or load) all benchmarks, print Table II
+  experiment <id> | all     table1..table4, fig4..fig6, fig9..fig12,
+                            ablation-routing, ablation-lut, ablation-na
+  design [benchmark]        full 6-step methodology (see 'list')
+  characterize [component]  multiplier error profiles
+  energy                    table1 + fig4 + fig5
+  list                      benchmarks and experiment ids`)
+}
+
+// cli bundles the runner with output options.
+type cli struct {
+	runner   *experiments.Runner
+	csvDir   string
+	jsonPath string
+}
+
+func (c *cli) run(w io.Writer, cmd string, args []string) error {
+	r := c.runner
+	switch cmd {
+	case "train":
+		res, err := r.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Render())
+		return nil
+	case "experiment":
+		if len(args) != 1 {
+			return fmt.Errorf("experiment wants one id (or 'all'); see 'redcane list'")
+		}
+		return c.runExperiments(w, args[0])
+	case "design", "refine":
+		b := experiments.Benchmarks[4]
+		if len(args) == 1 {
+			var ok bool
+			b, ok = findBenchmark(args[0])
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q; see 'redcane list'", args[0])
+			}
+		}
+		res, err := r.Design(b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Render())
+		if cmd == "refine" {
+			ref, err := r.RefineDesign(b, res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			fmt.Fprint(w, core.FormatRefine(ref))
+		}
+		if c.jsonPath != "" {
+			f, err := os.Create(c.jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := res.Report.WriteJSON(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "characterize":
+		return characterize(w, args)
+	case "energy":
+		for _, id := range []string{"table1", "fig4", "fig5"} {
+			if err := c.runExperiments(w, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "list":
+		fmt.Fprintln(w, "benchmarks:")
+		for _, b := range experiments.Benchmarks {
+			fmt.Fprintf(w, "  %s\n", b.Key())
+		}
+		fmt.Fprintln(w, "experiments: table1 table2 table3 table4 fig4 fig5 fig6 fig9 fig10 fig11 fig12")
+		fmt.Fprintln(w, "ablations:   ablation-routing ablation-lut ablation-na ablation-faults")
+		fmt.Fprintln(w, "             ablation-selection ablation-range")
+		fmt.Fprintln(w, "extensions:  accel (system-level energy), stability (seed error bars)")
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func findBenchmark(key string) (experiments.Benchmark, bool) {
+	for _, b := range experiments.Benchmarks {
+		if b.Key() == key {
+			return b, true
+		}
+	}
+	return experiments.Benchmark{}, false
+}
+
+// renderer is any experiment result.
+type renderer interface{ Render() string }
+
+func (c *cli) runExperiments(w io.Writer, id string) error {
+	r := c.runner
+	if id == "all" {
+		for _, one := range []string{
+			"table1", "fig4", "fig5", "fig6", "table2", "table3",
+			"fig9", "fig10", "fig11", "table4", "fig12",
+			"ablation-routing", "ablation-lut", "ablation-na", "ablation-faults",
+			"ablation-selection", "ablation-range", "stability", "accel",
+		} {
+			if err := c.runExperiments(w, one); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+
+	var res renderer
+	var err error
+	switch id {
+	case "table1":
+		res, err = experiments.Table1()
+	case "fig4":
+		res, err = experiments.Fig4()
+	case "fig5":
+		res, err = experiments.Fig5()
+	case "fig6":
+		res, err = r.Fig6()
+	case "table2":
+		res, err = r.Table2()
+	case "table3":
+		res, err = r.Table3()
+	case "fig9":
+		res, err = r.Fig9()
+	case "fig10":
+		res, err = r.Fig10()
+	case "fig11":
+		res, err = r.Fig11()
+	case "accel":
+		res, err = experiments.Accel()
+	case "table4":
+		res, err = r.Table4()
+	case "fig12":
+		results, ferr := r.Fig12()
+		if ferr != nil {
+			return ferr
+		}
+		fmt.Fprintln(w, "Fig. 12 — group-wise resilience on the remaining benchmarks")
+		for _, g := range results {
+			fmt.Fprint(w, g.Render())
+		}
+		return nil
+	case "ablation-routing":
+		res, err = r.AblationRoutingIterations()
+	case "ablation-lut":
+		res, err = r.AblationNoiseVsLUT()
+	case "ablation-na":
+		res, err = r.AblationNoiseAverage()
+	case "ablation-faults":
+		res, err = r.AblationFaultTypes()
+	case "ablation-selection":
+		res, err = r.AblationSelectionStrategy(experiments.Benchmarks[4])
+	case "ablation-range":
+		res, err = r.AblationRangeEstimator(experiments.Benchmarks[4])
+	case "stability":
+		res, err = r.Stability(experiments.Benchmarks[4], 5)
+	default:
+		return fmt.Errorf("unknown experiment %q; see 'redcane list'", id)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, res.Render())
+	if c.csvDir != "" {
+		if err := c.writeCSV(id, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvWriter is implemented by results with a machine-readable form.
+type csvWriter interface{ WriteCSV(io.Writer) error }
+
+// writeCSV persists a result's CSV next to the text output.
+func (c *cli) writeCSV(id string, res renderer) error {
+	cw, ok := res.(csvWriter)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.csvDir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return cw.WriteCSV(f)
+}
+
+func characterize(w io.Writer, args []string) error {
+	lib := approx.Library()
+	if len(args) == 1 {
+		c, err := approx.ByName(args[0])
+		if err != nil {
+			return err
+		}
+		lib = []approx.Component{c}
+	}
+	fmt.Fprintf(w, "%-12s %7s %7s %10s %10s %8s\n", "component", "µW", "µm²", "NM(1MAC)", "NM(81MAC)", "KS(81)")
+	for _, c := range lib {
+		p1 := approx.Characterize(c.Model, approx.Uniform{}, 1, 30000, 7)
+		p81 := approx.Characterize(c.Model, approx.Uniform{}, 81, 30000, 7)
+		fmt.Fprintf(w, "%-12s %7.0f %7.0f %10.4f %10.4f %8.3f\n",
+			c.Name, c.PowerUW, c.AreaUM2, p1.NM, p81.NM, p81.Fit.KS)
+	}
+	return nil
+}

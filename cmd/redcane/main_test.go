@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redcane/internal/experiments"
+)
+
+func testCLI(t *testing.T) *cli {
+	t.Helper()
+	r := experiments.NewRunner(experiments.Config{Dir: t.TempDir(), Quick: true, Seed: 42})
+	return &cli{runner: r}
+}
+
+func TestListCommand(t *testing.T) {
+	var b strings.Builder
+	if err := testCLI(t).run(&b, "list", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"deepcaps-cifar-like", "capsnet-mnist-like", "table4", "ablation-lut"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownCommandErrors(t *testing.T) {
+	var b strings.Builder
+	if err := testCLI(t).run(&b, "bogus", nil); err == nil {
+		t.Fatal("expected error for unknown command")
+	}
+}
+
+func TestUnknownExperimentErrors(t *testing.T) {
+	var b strings.Builder
+	if err := testCLI(t).run(&b, "experiment", []string{"fig99"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	if err := testCLI(t).run(&b, "experiment", nil); err == nil {
+		t.Fatal("expected error for missing experiment id")
+	}
+}
+
+func TestUnknownBenchmarkErrors(t *testing.T) {
+	var b strings.Builder
+	if err := testCLI(t).run(&b, "design", []string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestEnergyBundleCommand(t *testing.T) {
+	var b strings.Builder
+	if err := testCLI(t).run(&b, "energy", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "Fig. 4", "Fig. 5", "XM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("energy output missing %q", want)
+		}
+	}
+}
+
+func TestCharacterizeSingleComponent(t *testing.T) {
+	var b strings.Builder
+	if err := testCLI(t).run(&b, "characterize", []string{"mul8u_NGR"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mul8u_NGR") {
+		t.Fatalf("characterize output:\n%s", b.String())
+	}
+	if err := testCLI(t).run(&b, "characterize", []string{"mul8u_NOPE"}); err == nil {
+		t.Fatal("expected error for unknown component")
+	}
+}
+
+func TestFindBenchmark(t *testing.T) {
+	if _, ok := findBenchmark("deepcaps-cifar-like"); !ok {
+		t.Fatal("known benchmark not found")
+	}
+	if _, ok := findBenchmark("x"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestCSVFlagWritesFiles(t *testing.T) {
+	c := testCLI(t)
+	c.csvDir = t.TempDir()
+	var b strings.Builder
+	if err := c.run(&b, "experiment", []string{"fig6"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(c.csvDir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "chain_len") {
+		t.Fatalf("fig6.csv malformed:\n%s", data)
+	}
+}

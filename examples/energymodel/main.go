@@ -1,0 +1,77 @@
+// Energymodel reproduces the paper's motivation study (Sec. III-A): count
+// the arithmetic of a full-size DeepCaps inference (Table I), break its
+// energy down per operation class (Fig. 4), and evaluate the savings of
+// deploying approximate multipliers and adders (Fig. 5).
+//
+//	go run ./examples/energymodel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redcane/internal/approx"
+	"redcane/internal/energy"
+	"redcane/internal/experiments"
+	"redcane/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	t1, err := experiments.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(t1.Render())
+
+	f4, err := experiments.Fig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(f4.Render())
+
+	f5, err := experiments.Fig5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(f5.Render())
+
+	// Per-layer view (beyond the paper): where the multiplier energy
+	// actually sits inside DeepCaps.
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-layer multiplier energy (top 6 layers):")
+	byLayer := net.OpsByLayer(1)
+	type row struct {
+		name string
+		pj   float64
+	}
+	var rows []row
+	for name, c := range byLayer {
+		rows = append(rows, row{name, c.Mul * energy.TableI.Mul})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].pj > rows[i].pj {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	total := energy.Energy(net.Ops(1), energy.TableI)
+	for _, r := range rows[:6] {
+		fmt.Printf("  %-10s %10.1f µJ  (%4.1f%% of total)\n", r.name, r.pj/1e6, 100*r.pj/total)
+	}
+
+	// What the cheapest viable multiplier buys at the system level.
+	ngr, err := approx.ByName("mul8u_NGR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplacing all multipliers with %s (−%.0f%% power) saves ≈%.1f%% of total energy.\n",
+		ngr.Name, 100*ngr.PowerReduction(), 100*ngr.PowerReduction()*f4.Ours.MulShare)
+}

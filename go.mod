@@ -1,0 +1,3 @@
+module redcane
+
+go 1.22

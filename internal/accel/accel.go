@@ -1,0 +1,285 @@
+// Package accel is an analytical model of a CapsAcc-style CapsNet
+// accelerator (Marchisio et al., DATE 2019 — the paper's reference [17]
+// and the deployment target of the ReD-CaNe methodology): a weight-reuse
+// systolic MAC array fed by on-chip SRAM, with off-chip DRAM behind it.
+//
+// The model maps every layer of a caps.Network onto the PE array and
+// reports cycles, utilization, memory traffic and an energy breakdown
+// (compute / SRAM / DRAM). Compute energy uses the paper's Table I unit
+// energies; memory energies are documented modeling constants in the
+// 45 nm ballpark (Horowitz, ISSCC 2014). The model exists to answer the
+// system-level question behind Fig. 5: how much of a multiplier-power
+// saving survives once memory energy is accounted for.
+package accel
+
+import (
+	"fmt"
+	"strings"
+
+	"redcane/internal/caps"
+	"redcane/internal/energy"
+)
+
+// Config describes the accelerator instance.
+type Config struct {
+	// Rows×Cols is the PE array (CapsAcc uses 16×16).
+	Rows, Cols int
+	// SRAMBytes is the unified on-chip buffer capacity.
+	SRAMBytes int
+	// Unit energies, picojoules.
+	Units energy.UnitEnergy
+	// SRAMReadPJ/SRAMWritePJ are per byte of on-chip traffic.
+	SRAMReadPJ, SRAMWritePJ float64
+	// DRAMPJ is per byte of off-chip traffic (read or write).
+	DRAMPJ float64
+	// WordBytes is the operand width in bytes (1 for the 8-bit datapath
+	// the paper assumes).
+	WordBytes int
+}
+
+// DefaultConfig returns a CapsAcc-like 16×16 array with a 256 KiB buffer
+// and 45 nm-ballpark memory energies.
+func DefaultConfig() Config {
+	return Config{
+		Rows: 16, Cols: 16,
+		SRAMBytes:  256 << 10,
+		Units:      energy.TableI,
+		SRAMReadPJ: 1.0, SRAMWritePJ: 1.2,
+		DRAMPJ:    62.5,
+		WordBytes: 1,
+	}
+}
+
+// LayerReport is the per-layer outcome of the mapping.
+type LayerReport struct {
+	Layer string
+	// MACs actually executed.
+	MACs float64
+	// Cycles on the PE array (vector ops run on a Cols-wide unit).
+	Cycles float64
+	// Utilization = MACs / (Cycles·Rows·Cols), in [0, 1].
+	Utilization float64
+	// SRAMBytes / DRAMBytes of traffic attributed to the layer.
+	SRAMBytes, DRAMBytes float64
+	// Energy breakdown in picojoules.
+	ComputePJ, SRAMPJ, DRAMPJ float64
+}
+
+// TotalPJ returns the layer's total energy.
+func (l LayerReport) TotalPJ() float64 { return l.ComputePJ + l.SRAMPJ + l.DRAMPJ }
+
+// Summary aggregates the whole network.
+type Summary struct {
+	Cycles                    float64
+	MACs                      float64
+	Utilization               float64
+	ComputePJ, SRAMPJ, DRAMPJ float64
+}
+
+// TotalPJ returns the network's total energy.
+func (s Summary) TotalPJ() float64 { return s.ComputePJ + s.SRAMPJ + s.DRAMPJ }
+
+// Analyze maps the network onto the accelerator for a batch-1 inference.
+// The multiplier energy can be scaled (mulScale < 1 models an approximate
+// multiplier; 1 is accurate) — memory and non-multiplier energies are
+// unaffected, which is exactly why system-level savings are smaller than
+// the computational-path savings of Fig. 5.
+func Analyze(net *caps.Network, cfg Config, mulScale float64) ([]LayerReport, Summary) {
+	shape := append([]int{1}, net.InputShape...)
+	var reports []LayerReport
+	for _, l := range net.Layers {
+		reports, shape = analyzeLayer(l, shape, cfg, mulScale, reports)
+	}
+	var s Summary
+	denom := 0.0
+	for _, r := range reports {
+		s.Cycles += r.Cycles
+		s.MACs += r.MACs
+		s.ComputePJ += r.ComputePJ
+		s.SRAMPJ += r.SRAMPJ
+		s.DRAMPJ += r.DRAMPJ
+		denom += r.Cycles * float64(cfg.Rows*cfg.Cols)
+	}
+	if denom > 0 {
+		s.Utilization = s.MACs / denom
+	}
+	return reports, s
+}
+
+// analyzeLayer dispatches per layer kind, recursing into cells.
+func analyzeLayer(l caps.Layer, inShape []int, cfg Config, mulScale float64, acc []LayerReport) ([]LayerReport, []int) {
+	switch v := l.(type) {
+	case *caps.CapsCell:
+		var aShape, bShape, outShape []int
+		_, aShape = v.L1.Ops(inShape)
+		acc, _ = analyzeLayer(v.L1, inShape, cfg, mulScale, acc)
+		_, bShape = v.L2.Ops(aShape)
+		acc, _ = analyzeLayer(v.L2, aShape, cfg, mulScale, acc)
+		_, outShape = v.L3.Ops(bShape)
+		acc, _ = analyzeLayer(v.L3, bShape, cfg, mulScale, acc)
+		acc, _ = analyzeLayer(v.Skip, aShape, cfg, mulScale, acc)
+		return acc, outShape
+	case *caps.Conv2D:
+		r, outShape := mapConv(v.Name(), inShape, v.W.Shape, v.Stride, v.Pad, cfg, mulScale)
+		return append(acc, r), outShape
+	case *caps.ConvCaps2D:
+		r, outShape := mapConv(v.Name(), inShape, v.W.Shape, v.Stride, v.Pad, cfg, mulScale)
+		// Squash runs on the vector unit; add its op energy and cycles.
+		ops, _ := v.Ops(inShape)
+		addVectorOps(&r, ops, cfg, mulScale)
+		return append(acc, r), outShape
+	case *caps.ConvCaps3D:
+		// The vote stage is InCaps independent convolutions.
+		k := v.W.Shape[4]
+		sub := []int{inShape[0], v.InDim, inShape[2], inShape[3]}
+		wShape := []int{v.OutCaps * v.OutDim, v.InDim, k, k}
+		total := LayerReport{Layer: v.Name()}
+		var outShape []int
+		for i := 0; i < v.InCaps; i++ {
+			r, os := mapConv(v.Name(), sub, wShape, v.Stride, v.Pad, cfg, mulScale)
+			total.MACs += r.MACs
+			total.Cycles += r.Cycles
+			total.SRAMBytes += r.SRAMBytes
+			total.DRAMBytes += r.DRAMBytes
+			total.ComputePJ += r.ComputePJ
+			total.SRAMPJ += r.SRAMPJ
+			total.DRAMPJ += r.DRAMPJ
+			outShape = os
+		}
+		ops, netOut := v.Ops(inShape)
+		// Routing (softmax/squash/update) on the vector unit: the op
+		// tally minus the vote MACs already mapped.
+		routingOps := ops
+		routingOps.Mul -= total.MACs
+		routingOps.Add -= total.MACs
+		addVectorOps(&total, routingOps, cfg, mulScale)
+		if total.Cycles > 0 {
+			total.Utilization = total.MACs / (total.Cycles * float64(cfg.Rows*cfg.Cols))
+		}
+		_ = outShape
+		return append(acc, total), netOut
+	case *caps.ClassCaps:
+		// Votes are a [InCaps·OutCaps·OutDim × InDim] matrix working
+		// against the input capsules: map as a matmul on the array.
+		macs := float64(v.InCaps * v.OutCaps * v.OutDim * v.InDim)
+		r := LayerReport{Layer: v.Name(), MACs: macs}
+		rows := float64(v.InCaps)
+		colsWork := float64(v.OutCaps * v.OutDim)
+		tileR := ceilDiv(rows, float64(cfg.Rows))
+		tileC := ceilDiv(colsWork, float64(cfg.Cols))
+		r.Cycles = tileR * tileC * float64(v.InDim)
+		weightBytes := macs / float64(v.InCaps) * float64(v.InCaps) // = full W
+		inBytes := float64(v.InCaps * v.InDim * cfg.WordBytes)
+		outBytes := float64(v.OutCaps * v.OutDim * cfg.WordBytes)
+		r.SRAMBytes = weightBytes*float64(cfg.WordBytes) + inBytes + outBytes
+		r.DRAMBytes = dramTraffic(weightBytes*float64(cfg.WordBytes), inBytes, outBytes, cfg)
+		r.ComputePJ = macs * (cfg.Units.Mul*mulScale + cfg.Units.Add)
+		r.SRAMPJ = r.SRAMBytes * cfg.SRAMReadPJ
+		r.DRAMPJ = r.DRAMBytes * cfg.DRAMPJ
+		ops, outShape := v.Ops([]int{1, v.InCaps, v.InDim})
+		routingOps := ops
+		routingOps.Mul -= macs
+		routingOps.Add -= macs
+		addVectorOps(&r, routingOps, cfg, mulScale)
+		if r.Cycles > 0 {
+			r.Utilization = r.MACs / (r.Cycles * float64(cfg.Rows*cfg.Cols))
+		}
+		return append(acc, r), outShape
+	default:
+		ops, outShape := l.Ops(inShape)
+		r := LayerReport{Layer: l.Name()}
+		addVectorOps(&r, ops, cfg, mulScale)
+		return append(acc, r), outShape
+	}
+}
+
+// mapConv maps one convolution onto the PE array with an output-
+// stationary tiling: output channels across columns, spatial positions
+// across rows, K²·InCh reduction cycles per tile.
+func mapConv(name string, inShape, wShape []int, stride, pad int, cfg Config, mulScale float64) (LayerReport, []int) {
+	outCh, inCh, kh, kw := wShape[0], wShape[1], wShape[2], wShape[3]
+	h, w := inShape[2], inShape[3]
+	spec := tensorConvOut(h, w, kh, stride, pad)
+	oh, ow := spec[0], spec[1]
+	positions := float64(oh * ow)
+	macs := positions * float64(outCh*inCh*kh*kw)
+
+	r := LayerReport{Layer: name, MACs: macs}
+	tileC := ceilDiv(float64(outCh), float64(cfg.Cols))
+	tileR := ceilDiv(positions, float64(cfg.Rows))
+	r.Cycles = tileC * tileR * float64(inCh*kh*kw)
+	r.Utilization = macs / (r.Cycles * float64(cfg.Rows*cfg.Cols))
+
+	wb := float64(cfg.WordBytes)
+	weightBytes := float64(outCh*inCh*kh*kw) * wb
+	// im2col input reads: each output position reads its K²·InCh patch.
+	inBytes := positions * float64(inCh*kh*kw) * wb
+	outBytes := positions * float64(outCh) * wb
+	r.SRAMBytes = weightBytes + inBytes + outBytes
+	r.DRAMBytes = dramTraffic(weightBytes, float64(inCh*h*w)*wb, outBytes, cfg)
+
+	r.ComputePJ = macs * (cfg.Units.Mul*mulScale + cfg.Units.Add)
+	r.SRAMPJ = r.SRAMBytes * cfg.SRAMReadPJ
+	r.DRAMPJ = r.DRAMBytes * cfg.DRAMPJ
+	return r, []int{1, outCh, oh, ow}
+}
+
+// dramTraffic models off-chip traffic: each unique operand crosses DRAM
+// once when the layer's working set fits in SRAM; otherwise weights are
+// refetched once per spatial tile (the dominant spill pattern of an
+// output-stationary dataflow).
+func dramTraffic(weightBytes, inBytes, outBytes float64, cfg Config) float64 {
+	workingSet := weightBytes + inBytes + outBytes
+	if workingSet <= float64(cfg.SRAMBytes) {
+		return weightBytes + inBytes + outBytes
+	}
+	spill := ceilDiv(workingSet, float64(cfg.SRAMBytes))
+	return weightBytes*spill + inBytes + outBytes
+}
+
+// addVectorOps charges non-MAC operations (squash, softmax, updates) to a
+// Cols-wide SIMD unit: energy from Table I, one op per lane per cycle.
+func addVectorOps(r *LayerReport, ops energy.Counts, cfg Config, mulScale float64) {
+	if ops.Mul < 0 {
+		ops.Mul = 0
+	}
+	if ops.Add < 0 {
+		ops.Add = 0
+	}
+	u := cfg.Units
+	u.Mul *= mulScale
+	r.ComputePJ += energy.Energy(ops, u)
+	r.Cycles += ceilDiv(ops.Total(), float64(cfg.Cols))
+}
+
+func ceilDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	n := a / b
+	if float64(int64(n)) != n {
+		return float64(int64(n) + 1)
+	}
+	return n
+}
+
+// tensorConvOut avoids importing tensor for one formula.
+func tensorConvOut(h, w, k, stride, pad int) [2]int {
+	return [2]int{(h+2*pad-k)/stride + 1, (w+2*pad-k)/stride + 1}
+}
+
+// FormatReports renders the per-layer table plus the summary.
+func FormatReports(reports []LayerReport, s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %6s %12s %12s %12s\n",
+		"layer", "MACs", "cycles", "util", "compute[µJ]", "SRAM[µJ]", "DRAM[µJ]")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s %10.3g %10.3g %5.1f%% %12.2f %12.2f %12.2f\n",
+			r.Layer, r.MACs, r.Cycles, 100*r.Utilization,
+			r.ComputePJ/1e6, r.SRAMPJ/1e6, r.DRAMPJ/1e6)
+	}
+	fmt.Fprintf(&b, "%-10s %10.3g %10.3g %5.1f%% %12.2f %12.2f %12.2f   total %.2f µJ\n",
+		"TOTAL", s.MACs, s.Cycles, 100*s.Utilization,
+		s.ComputePJ/1e6, s.SRAMPJ/1e6, s.DRAMPJ/1e6, s.TotalPJ()/1e6)
+	return b.String()
+}

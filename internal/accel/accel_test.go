@@ -1,0 +1,126 @@
+package accel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"redcane/internal/models"
+)
+
+func TestAnalyzeMACsMatchOpWalk(t *testing.T) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, s := Analyze(net, DefaultConfig(), 1)
+	if len(reports) != 18 { // Conv2D + 15 Caps2D + Caps3D + ClassCaps
+		t.Fatalf("layer reports = %d, want 18", len(reports))
+	}
+	// The mapped MACs must equal the mul count of the op walk (every
+	// multiplication on the inference path is a MAC or a vector op; the
+	// array only executes the MAC part).
+	ops := net.Ops(1)
+	if s.MACs > ops.Mul {
+		t.Fatalf("mapped MACs %g exceed total muls %g", s.MACs, ops.Mul)
+	}
+	if s.MACs < 0.9*ops.Mul {
+		t.Fatalf("mapped MACs %g < 90%% of muls %g — mapping lost work", s.MACs, ops.Mul)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, s := Analyze(net, DefaultConfig(), 1)
+	for _, r := range reports {
+		if r.Utilization < 0 || r.Utilization > 1+1e-9 {
+			t.Fatalf("%s: utilization %g out of [0,1]", r.Layer, r.Utilization)
+		}
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("summary utilization %g", s.Utilization)
+	}
+}
+
+func TestApproxMultiplierScalesOnlyCompute(t *testing.T) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	_, acc := Analyze(net, cfg, 1)
+	_, ngr := Analyze(net, cfg, 1-0.294)
+	if ngr.ComputePJ >= acc.ComputePJ {
+		t.Fatal("approximate multiplier did not reduce compute energy")
+	}
+	if ngr.SRAMPJ != acc.SRAMPJ || ngr.DRAMPJ != acc.DRAMPJ {
+		t.Fatal("memory energy must be unaffected by the multiplier choice")
+	}
+	// System-level saving must be smaller than the compute-only saving.
+	sysSaving := 1 - ngr.TotalPJ()/acc.TotalPJ()
+	computeSaving := 1 - ngr.ComputePJ/acc.ComputePJ
+	if sysSaving >= computeSaving {
+		t.Fatalf("system saving %g should be < compute saving %g", sysSaving, computeSaving)
+	}
+	if sysSaving <= 0 {
+		t.Fatalf("system saving %g should be positive", sysSaving)
+	}
+}
+
+func TestBiggerArrayFewerCycles(t *testing.T) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := DefaultConfig()
+	small.Rows, small.Cols = 8, 8
+	big := DefaultConfig()
+	big.Rows, big.Cols = 32, 32
+	_, s8 := Analyze(net, small, 1)
+	_, s32 := Analyze(net, big, 1)
+	if s32.Cycles >= s8.Cycles {
+		t.Fatalf("32×32 array (%g cycles) not faster than 8×8 (%g)", s32.Cycles, s8.Cycles)
+	}
+}
+
+func TestSmallSRAMMoreDRAMTraffic(t *testing.T) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigBuf := DefaultConfig()
+	bigBuf.SRAMBytes = 16 << 20
+	tinyBuf := DefaultConfig()
+	tinyBuf.SRAMBytes = 4 << 10
+	_, big := Analyze(net, bigBuf, 1)
+	_, tiny := Analyze(net, tinyBuf, 1)
+	if tiny.DRAMPJ <= big.DRAMPJ {
+		t.Fatalf("tiny SRAM (%g pJ DRAM) should spill more than big (%g)", tiny.DRAMPJ, big.DRAMPJ)
+	}
+}
+
+func TestFormatReports(t *testing.T) {
+	net, err := models.BuildInference(models.DeepCaps([]int{3, 16, 16}, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, s := Analyze(net, DefaultConfig(), 1)
+	out := FormatReports(reports, s)
+	for _, want := range []string{"Conv2D", "Caps3D", "ClassCaps", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := [][3]float64{{10, 3, 4}, {9, 3, 3}, {1, 16, 1}, {0, 4, 0}, {5, 0, 0}}
+	for _, c := range cases {
+		if got := ceilDiv(c[0], c[1]); math.Abs(got-c[2]) > 0 {
+			t.Fatalf("ceilDiv(%g, %g) = %g, want %g", c[0], c[1], got, c[2])
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package approx
+
+// LUT is a fully enumerated 8×8 multiplier: 65536 precomputed products.
+// It turns any behavioral Multiplier into an O(1) table lookup, which is
+// what the approximate execution engine (internal/axe) uses on its hot
+// path, and doubles as a golden reference when validating models.
+type LUT struct {
+	table [65536]uint16
+}
+
+// CompileLUT enumerates m over all input pairs.
+func CompileLUT(m Multiplier) *LUT {
+	l := &LUT{}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			l.table[a<<8|b] = m.Mul(uint8(a), uint8(b))
+		}
+	}
+	return l
+}
+
+// Mul returns the tabulated product.
+func (l *LUT) Mul(a, b uint8) uint16 {
+	return l.table[int(a)<<8|int(b)]
+}
+
+var _ Multiplier = (*LUT)(nil)

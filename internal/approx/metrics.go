@@ -1,0 +1,53 @@
+package approx
+
+import "math"
+
+// Standard approximate-circuit quality metrics over the full 8×8 input
+// space, complementing the application-level NM/NA characterization.
+// These are the figures of merit the EvoApprox8B library itself reports,
+// so custom components can be compared against published designs.
+
+// Metrics summarizes a multiplier's arithmetic-error behavior across all
+// 65536 input pairs.
+type Metrics struct {
+	// MAE is the mean absolute error.
+	MAE float64
+	// WCE is the worst-case absolute error.
+	WCE float64
+	// ErrorRate is the fraction of inputs with a non-exact product.
+	ErrorRate float64
+	// MRED is the mean relative error distance (|ΔP|/max(1, P)).
+	MRED float64
+	// Bias is the mean signed error.
+	Bias float64
+}
+
+// Measure computes the exhaustive metrics for m.
+func Measure(m Multiplier) Metrics {
+	var mae, wce, mred, bias float64
+	errs := 0
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			p := float64(a * b)
+			d := float64(m.Mul(uint8(a), uint8(b))) - p
+			ad := math.Abs(d)
+			mae += ad
+			bias += d
+			mred += ad / math.Max(1, p)
+			if ad > wce {
+				wce = ad
+			}
+			if d != 0 {
+				errs++
+			}
+		}
+	}
+	const n = 65536
+	return Metrics{
+		MAE:       mae / n,
+		WCE:       wce,
+		ErrorRate: float64(errs) / n,
+		MRED:      mred / n,
+		Bias:      bias / n,
+	}
+}

@@ -1,0 +1,153 @@
+package axe
+
+import (
+	"math"
+	"testing"
+
+	"redcane/internal/approx"
+	"redcane/internal/caps"
+	"redcane/internal/noise"
+	"redcane/internal/tensor"
+)
+
+func randT(seed uint64, shape ...int) *tensor.Tensor {
+	return tensor.New(shape...).FillNormal(tensor.NewRNG(seed), 0, 0.5)
+}
+
+func TestQuantConv2DWithExactMultiplierApproximatesFloatConv(t *testing.T) {
+	// With the exact multiplier, the only error is 8-bit quantization —
+	// outputs must track the float convolution closely.
+	x := randT(1, 2, 3, 8, 8)
+	w := randT(2, 4, 3, 3, 3)
+	b := randT(3, 4)
+	ref := tensor.Conv2D(x, w, b, 1, 1)
+	got := QuantConv2D(x, w, b, 1, 1, approx.Exact{}, 8)
+	if !got.SameShape(ref) {
+		t.Fatalf("shape %v vs %v", got.Shape, ref.Shape)
+	}
+	refRange := ref.Range()
+	for i := range ref.Data {
+		if math.Abs(got.Data[i]-ref.Data[i]) > 0.05*refRange {
+			t.Fatalf("quantized conv too far at %d: %g vs %g", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestQuantConv2DStride2WithPadding(t *testing.T) {
+	x := randT(4, 1, 2, 7, 7)
+	w := randT(5, 3, 2, 3, 3)
+	ref := tensor.Conv2D(x, w, nil, 2, 1)
+	got := QuantConv2D(x, w, nil, 2, 1, approx.Exact{}, 8)
+	refRange := ref.Range()
+	for i := range ref.Data {
+		if math.Abs(got.Data[i]-ref.Data[i]) > 0.05*refRange {
+			t.Fatalf("padded quantized conv too far at %d: %g vs %g", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestQuantConv2DApproxWorseThanExact(t *testing.T) {
+	x := randT(6, 2, 2, 6, 6)
+	w := randT(7, 3, 2, 3, 3)
+	ref := tensor.Conv2D(x, w, nil, 1, 0)
+	exact := QuantConv2D(x, w, nil, 1, 0, approx.Exact{}, 8)
+	crude := QuantConv2D(x, w, nil, 1, 0, approx.OperandTrunc{ABits: 6, BBits: 6, Compensate: true}, 8)
+	errOf := func(y *tensor.Tensor) float64 {
+		s := 0.0
+		for i := range ref.Data {
+			s += math.Abs(y.Data[i] - ref.Data[i])
+		}
+		return s
+	}
+	if errOf(crude) <= errOf(exact) {
+		t.Fatalf("crude multiplier not worse: %g vs %g", errOf(crude), errOf(exact))
+	}
+}
+
+func TestQuantConv2DRejectsWideWordlength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >8-bit request")
+		}
+	}()
+	QuantConv2D(randT(8, 1, 1, 4, 4), randT(9, 1, 1, 3, 3), nil, 1, 0, approx.Exact{}, 12)
+}
+
+func buildTinyNet(seed uint64) *caps.Network {
+	mkCaps := func(name string, inCh, cp, dim, k, stride, pad int, s uint64) *caps.ConvCaps2D {
+		return &caps.ConvCaps2D{
+			LayerName: name, Caps: cp, Dim: dim,
+			W:      tensor.New(cp*dim, inCh, k, k).FillGlorot(tensor.NewRNG(s), inCh*k*k, cp*dim*k*k),
+			B:      tensor.New(cp * dim),
+			Stride: stride, Pad: pad,
+		}
+	}
+	return &caps.Network{
+		NetName:    "tiny",
+		InputShape: []int{1, 6, 6},
+		Layers: []caps.Layer{
+			mkCaps("Caps2D1", 1, 2, 4, 3, 2, 1, seed),
+			&caps.ClassCaps{
+				LayerName: "ClassCaps",
+				InCaps:    2 * 3 * 3, InDim: 4, OutCaps: 3, OutDim: 8,
+				W: tensor.New(2*3*3, 3, 8, 4).
+					FillGlorot(tensor.NewRNG(seed+1), 4, 8),
+				RoutingIterations: 3,
+			},
+		},
+	}
+}
+
+func TestEngineMatchesAccurateNetworkWithExactMultiplier(t *testing.T) {
+	net := buildTinyNet(10)
+	x := randT(11, 4, 1, 6, 6)
+	clean := net.Classify(x, noise.None{})
+	eng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"Caps2D1": approx.Exact{}}}
+	got := eng.Classify(x)
+	same := 0
+	for i := range clean {
+		if clean[i] == got[i] {
+			same++
+		}
+	}
+	// 8-bit quantization may flip borderline samples but most must agree.
+	if same < len(clean)-1 {
+		t.Fatalf("exact-multiplier engine disagrees: %v vs %v", got, clean)
+	}
+}
+
+func TestEngineEmptyMultsIsAccurate(t *testing.T) {
+	net := buildTinyNet(12)
+	x := randT(13, 3, 1, 6, 6)
+	ref := net.Forward(x, noise.None{})
+	got := (&Engine{Net: net}).Forward(x)
+	for i := range ref.Data {
+		if ref.Data[i] != got.Data[i] {
+			t.Fatal("engine with no approximate layers must match the float path exactly")
+		}
+	}
+}
+
+func TestEngineAccuracySelfConsistent(t *testing.T) {
+	net := buildTinyNet(14)
+	x := randT(15, 6, 1, 6, 6)
+	eng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"Caps2D1": approx.DRUM{K: 6}}}
+	preds := eng.Classify(x)
+	if acc := Accuracy(eng, x, preds, 4); acc != 1 {
+		t.Fatalf("self-accuracy = %g", acc)
+	}
+	if Accuracy(eng, tensor.New(0, 1, 6, 6), nil, 4) != 0 {
+		t.Fatal("empty accuracy != 0")
+	}
+}
+
+func TestEngineDefaultBits(t *testing.T) {
+	e := &Engine{}
+	if e.bits() != 8 {
+		t.Fatalf("default bits = %d", e.bits())
+	}
+	e.Bits = 6
+	if e.bits() != 6 {
+		t.Fatalf("bits = %d", e.bits())
+	}
+}

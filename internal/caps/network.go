@@ -1,0 +1,227 @@
+package caps
+
+import (
+	"fmt"
+
+	"redcane/internal/energy"
+	"redcane/internal/noise"
+	"redcane/internal/tensor"
+)
+
+// CapsCell is DeepCaps' residual capsule cell: three sequential ConvCaps2D
+// layers plus one skip ConvCaps layer from the first layer's output, with
+// the two branches summed (Fig. 2 of the paper; the final cell uses the
+// ConvCaps3D routing layer as its skip branch). Each inner ConvCaps layer
+// applies its own squash, as in the reference DeepCaps implementation, so
+// the cell itself adds no extra injection site.
+type CapsCell struct {
+	CellName   string
+	L1, L2, L3 *ConvCaps2D
+	// Skip is either a *ConvCaps2D or the *ConvCaps3D routing layer.
+	Skip Layer
+}
+
+// Name implements Layer.
+func (c *CapsCell) Name() string { return c.CellName }
+
+// Forward implements Layer.
+func (c *CapsCell) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	a := c.L1.Forward(x, inj)
+	b := c.L2.Forward(a, inj)
+	main := c.L3.Forward(b, inj)
+	skip := c.Skip.Forward(a, inj)
+	if !main.SameShape(skip) {
+		panic(fmt.Sprintf("caps: cell %s branch shapes %v vs %v", c.CellName, main.Shape, skip.Shape))
+	}
+	return tensor.Add(main, skip)
+}
+
+// Sites implements Layer.
+func (c *CapsCell) Sites() []noise.Site {
+	var s []noise.Site
+	s = append(s, c.L1.Sites()...)
+	s = append(s, c.L2.Sites()...)
+	s = append(s, c.L3.Sites()...)
+	s = append(s, c.Skip.Sites()...)
+	return s
+}
+
+// Params implements Layer.
+func (c *CapsCell) Params() map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{}
+	for _, l := range []Layer{c.L1, c.L2, c.L3, c.Skip} {
+		for k, v := range l.Params() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Ops implements Layer.
+func (c *CapsCell) Ops(inShape []int) (energy.Counts, []int) {
+	c1, aShape := c.L1.Ops(inShape)
+	c2, bShape := c.L2.Ops(aShape)
+	c3, outShape := c.L3.Ops(bShape)
+	c4, skipShape := c.Skip.Ops(aShape)
+	_ = skipShape
+	total := c1.Plus(c2).Plus(c3).Plus(c4)
+	// Residual add: one addition per output element.
+	n := 1
+	for _, d := range outShape {
+		n *= d
+	}
+	total = total.Plus(energy.Counts{Add: float64(n)})
+	return total, outShape
+}
+
+// Network is an ordered stack of layers ending in a capsule layer whose
+// output vector norms are the class scores.
+type Network struct {
+	NetName string
+	// InputShape is [channels, height, width] of a single sample.
+	InputShape []int
+	Layers     []Layer
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.NetName }
+
+// Forward runs all layers under the given injector. Pass noise.None{} for
+// accurate inference.
+func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	if inj == nil {
+		inj = noise.None{}
+	}
+	for _, l := range n.Layers {
+		x = l.Forward(x, inj)
+	}
+	return x
+}
+
+// Sites enumerates every injection point in forward order.
+func (n *Network) Sites() []noise.Site {
+	var s []noise.Site
+	for _, l := range n.Layers {
+		s = append(s, l.Sites()...)
+	}
+	return s
+}
+
+// LayerNames returns the distinct site layer names in forward order —
+// the row labels of the paper's layer-wise analysis (Fig. 10).
+func (n *Network) LayerNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range n.Sites() {
+		if !seen[s.Layer] {
+			seen[s.Layer] = true
+			names = append(names, s.Layer)
+		}
+	}
+	return names
+}
+
+// Params merges every layer's parameters.
+func (n *Network) Params() map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{}
+	for _, l := range n.Layers {
+		for k, v := range l.Params() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Ops tallies the network's arithmetic for a batch of the given size
+// (Table I of the paper uses batch 1).
+func (n *Network) Ops(batch int) energy.Counts {
+	shape := append([]int{batch}, n.InputShape...)
+	total := energy.Counts{}
+	for _, l := range n.Layers {
+		var c energy.Counts
+		c, shape = l.Ops(shape)
+		total = total.Plus(c)
+	}
+	return total
+}
+
+// OpsByLayer tallies arithmetic per layer name (cells are broken into
+// their constituent capsule layers), for energy-weighted analyses.
+func (n *Network) OpsByLayer(batch int) map[string]energy.Counts {
+	shape := append([]int{batch}, n.InputShape...)
+	out := map[string]energy.Counts{}
+	for _, l := range n.Layers {
+		if cell, ok := l.(*CapsCell); ok {
+			c1, aShape := cell.L1.Ops(shape)
+			c2, bShape := cell.L2.Ops(aShape)
+			c3, outShape := cell.L3.Ops(bShape)
+			c4, _ := cell.Skip.Ops(aShape)
+			out[cell.L1.Name()] = out[cell.L1.Name()].Plus(c1)
+			out[cell.L2.Name()] = out[cell.L2.Name()].Plus(c2)
+			out[cell.L3.Name()] = out[cell.L3.Name()].Plus(c3)
+			out[cell.Skip.Name()] = out[cell.Skip.Name()].Plus(c4)
+			shape = outShape
+			continue
+		}
+		var c energy.Counts
+		c, shape = l.Ops(shape)
+		out[l.Name()] = out[l.Name()].Plus(c)
+	}
+	return out
+}
+
+// ClassScores returns the per-class capsule norms [batch, classes] for a
+// batch of inputs.
+func (n *Network) ClassScores(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	out := n.Forward(x, inj)
+	if out.Rank() != 3 {
+		panic(fmt.Sprintf("caps: network %s output rank %d, want [batch, caps, dim]", n.NetName, out.Rank()))
+	}
+	return tensor.NormAxis(out, 2)
+}
+
+// Classify returns the argmax class for each sample in the batch.
+func (n *Network) Classify(x *tensor.Tensor, inj noise.Injector) []int {
+	scores := n.ClassScores(x, inj)
+	batch, classes := scores.Shape[0], scores.Shape[1]
+	out := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		best, arg := scores.At(b, 0), 0
+		for c := 1; c < classes; c++ {
+			if v := scores.At(b, c); v > best {
+				best, arg = v, c
+			}
+		}
+		out[b] = arg
+	}
+	return out
+}
+
+// Accuracy evaluates classification accuracy over a dataset, processing
+// `batch` samples per forward pass. X is [n, c, h, w]; labels has length n.
+func Accuracy(net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, batch int) float64 {
+	n := x.Shape[0]
+	if n == 0 {
+		return 0
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	sample := x.Len() / n
+	correct := 0
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape[1:]...)
+		xb := tensor.NewFrom(x.Data[lo*sample:hi*sample], shape...)
+		pred := net.Classify(xb, inj)
+		for i, p := range pred {
+			if p == labels[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,51 @@
+package caps
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpsByLayerDecomposesCells(t *testing.T) {
+	cell := buildTinyCell(70)
+	net := &Network{
+		NetName:    "cellnet",
+		InputShape: []int{8, 8, 8},
+		Layers: []Layer{
+			cell,
+			newClassCaps("ClassCaps", 2*4*4, 4, 3, 8, 3, 71),
+		},
+	}
+	byLayer := net.OpsByLayer(1)
+	// The cell contributes its four inner layers, not itself.
+	if _, ok := byLayer["Cell1"]; ok {
+		t.Fatal("cell must be decomposed, not reported as one layer")
+	}
+	for _, want := range []string{"Caps2D1", "Caps2D2", "Caps2D3", "Caps2D4", "ClassCaps"} {
+		if byLayer[want].Mul <= 0 {
+			t.Fatalf("layer %s missing from OpsByLayer: %+v", want, byLayer)
+		}
+	}
+	// Per-layer muls must sum to (total − the residual add, which has no
+	// muls), so mul totals match exactly.
+	total := net.Ops(1)
+	sum := 0.0
+	for _, c := range byLayer {
+		sum += c.Mul
+	}
+	if math.Abs(sum-total.Mul) > 1e-9 {
+		t.Fatalf("per-layer mul sum %g != total %g", sum, total.Mul)
+	}
+}
+
+func TestOpsByLayerScalesWithBatch(t *testing.T) {
+	net := &Network{
+		NetName:    "n",
+		InputShape: []int{1, 8, 8},
+		Layers:     []Layer{newConv("Conv2D", 1, 4, 3, 1, 1, true, 72)},
+	}
+	one := net.OpsByLayer(1)["Conv2D"]
+	four := net.OpsByLayer(4)["Conv2D"]
+	if math.Abs(four.Mul-4*one.Mul) > 1e-9 {
+		t.Fatalf("ops not linear in batch: %g vs %g", four.Mul, one.Mul)
+	}
+}

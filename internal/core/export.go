@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// exportedReport is the stable JSON schema of a ReD-CaNe report, for
+// downstream tooling (e.g. an accelerator generator consuming the
+// per-operation component assignment).
+type exportedReport struct {
+	Network           string           `json:"network"`
+	Dataset           string           `json:"dataset"`
+	CleanAccuracy     float64          `json:"clean_accuracy"`
+	ValidatedAccuracy float64          `json:"validated_accuracy"`
+	MulEnergySaving   float64          `json:"mul_energy_saving"`
+	Groups            []exportedGroup  `json:"groups"`
+	Layers            []exportedLayer  `json:"layers,omitempty"`
+	Choices           []exportedChoice `json:"choices"`
+}
+
+type exportedGroup struct {
+	Group       string  `json:"group"`
+	ToleratedNM float64 `json:"tolerated_nm"`
+	Resilient   bool    `json:"resilient"`
+}
+
+type exportedLayer struct {
+	Layer       string  `json:"layer"`
+	Group       string  `json:"group"`
+	ToleratedNM float64 `json:"tolerated_nm"`
+	Resilient   bool    `json:"resilient"`
+}
+
+type exportedChoice struct {
+	Layer       string  `json:"layer"`
+	Group       string  `json:"group"`
+	Component   string  `json:"component"`
+	ComponentNM float64 `json:"component_nm"`
+	BudgetNM    float64 `json:"budget_nm"`
+	PowerUW     float64 `json:"power_uw"`
+	AreaUM2     float64 `json:"area_um2"`
+}
+
+// WriteJSON serializes the report to w (indented, stable field order).
+func (r *Report) WriteJSON(w io.Writer) error {
+	e := exportedReport{
+		Network:           r.Network,
+		Dataset:           r.Dataset,
+		CleanAccuracy:     r.CleanAccuracy,
+		ValidatedAccuracy: r.ValidatedAccuracy,
+		MulEnergySaving:   r.MulEnergySaving,
+	}
+	for _, g := range r.Groups {
+		e.Groups = append(e.Groups, exportedGroup{
+			Group: g.Group.String(), ToleratedNM: g.ToleratedNM, Resilient: g.Resilient,
+		})
+	}
+	for _, l := range r.Layers {
+		e.Layers = append(e.Layers, exportedLayer{
+			Layer: l.Layer, Group: l.Group.String(),
+			ToleratedNM: l.ToleratedNM, Resilient: l.Resilient,
+		})
+	}
+	for _, c := range r.Choices {
+		e.Choices = append(e.Choices, exportedChoice{
+			Layer: c.Site.Layer, Group: c.Site.Group.String(),
+			Component: c.Component.Name, ComponentNM: c.ComponentNM,
+			BudgetNM: c.BudgetNM,
+			PowerUW:  c.Component.PowerUW, AreaUM2: c.Component.AreaUM2,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
+		return fmt.Errorf("core: export report: %w", err)
+	}
+	return nil
+}

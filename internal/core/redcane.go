@@ -1,0 +1,471 @@
+// Package core implements the ReD-CaNe methodology itself (Fig. 7 of the
+// paper): the six steps that turn a trained CapsNet plus a library of
+// approximate components into an approximated CapsNet design —
+//
+//  1. Group Extraction — partition the inference operations into the
+//     Table III groups by running one instrumented forward pass.
+//  2. Group-Wise Resilience Analysis — sweep the noise magnitude per
+//     group and monitor the test-accuracy drop.
+//  3. Mark Resilient Groups — groups whose accuracy survives the largest
+//     swept noise magnitude.
+//  4. Layer-Wise Resilience Analysis — per-layer sweeps inside each
+//     non-resilient group (skipping resilient groups saves exploration
+//     time, exactly as the paper notes).
+//  5. Mark Resilient Layers — per-layer tolerated noise magnitudes.
+//  6. Select Approximate Components — for every operation site, the
+//     cheapest library component whose measured noise magnitude fits the
+//     site's tolerated budget.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"redcane/internal/approx"
+	"redcane/internal/caps"
+	"redcane/internal/datasets"
+	"redcane/internal/noise"
+	"redcane/internal/tensor"
+)
+
+// PaperNMSweep is the noise-magnitude grid of the paper's experiments
+// (Sec. VI-A): NM ∈ [0.5 … 0.001] plus the noiseless point.
+var PaperNMSweep = []float64{0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0}
+
+// Options parameterizes an analysis run.
+type Options struct {
+	// NMSweep is the descending noise-magnitude grid; defaults to
+	// PaperNMSweep.
+	NMSweep []float64
+	// NA is the noise average (paper uses 0 for the general case).
+	NA float64
+	// Trials is the number of independent noise seeds averaged per
+	// sweep point.
+	Trials int
+	// Batch is the evaluation batch size.
+	Batch int
+	// Threshold is the tolerable accuracy drop (fraction, e.g. 0.01)
+	// used to mark resilience and set NM budgets.
+	Threshold float64
+	// Seed drives all injected noise.
+	Seed uint64
+	// MaxEval caps the number of test samples evaluated per sweep point
+	// (0 = all).
+	MaxEval int
+}
+
+// WithDefaults fills unset options with the paper's defaults.
+func (o Options) WithDefaults() Options {
+	if len(o.NMSweep) == 0 {
+		o.NMSweep = PaperNMSweep
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.01
+	}
+	return o
+}
+
+// SweepPoint is one (NM, accuracy) measurement.
+type SweepPoint struct {
+	NM       float64
+	Accuracy float64
+	// Drop is Accuracy − CleanAccuracy (negative when noise hurts).
+	Drop float64
+}
+
+// GroupResult is the Step 2/3 outcome for one operation group.
+type GroupResult struct {
+	Group  noise.Group
+	Points []SweepPoint
+	// Resilient marks the groups that tolerate strictly more noise than
+	// the median group (Step 3). The paper marks resilient groups to
+	// skip their layer-wise analysis ("a considerable amount of unuseful
+	// testing can be skipped"); groups tolerating the full sweep are
+	// always resilient.
+	Resilient bool
+	// ToleratedNM is the largest swept NM whose drop is within the
+	// threshold.
+	ToleratedNM float64
+}
+
+// LayerResult is the Step 4/5 outcome for one (layer, group) pair.
+type LayerResult struct {
+	Layer       string
+	Group       noise.Group
+	Points      []SweepPoint
+	ToleratedNM float64
+	// Resilient marks layers tolerating at least the median tolerated
+	// NM of their group (Step 5's "more resilient" labeling).
+	Resilient bool
+}
+
+// Choice is one Step 6 component assignment.
+type Choice struct {
+	Site      noise.Site
+	Component approx.Component
+	// ComponentNM is the component's measured noise magnitude used for
+	// the fit test.
+	ComponentNM float64
+	// BudgetNM is the site's tolerated noise magnitude.
+	BudgetNM float64
+}
+
+// Report is the full output of a ReD-CaNe run.
+type Report struct {
+	Network       string
+	Dataset       string
+	CleanAccuracy float64
+	Groups        []GroupResult
+	Layers        []LayerResult
+	Choices       []Choice
+	// MulEnergySaving is the predicted energy saving on the multiplier
+	// share from the selected components, as a fraction of multiplier
+	// energy.
+	MulEnergySaving float64
+	// ValidatedAccuracy is the test accuracy with every site
+	// simultaneously injected at its selected component's NM/NA.
+	ValidatedAccuracy float64
+}
+
+// Analyzer runs the methodology against one trained network + dataset.
+type Analyzer struct {
+	Net  *caps.Network
+	Data *datasets.Dataset
+	Opts Options
+
+	sites map[noise.Group][]noise.Site // Step 1 cache
+}
+
+// CleanAccuracy evaluates the noiseless test accuracy under the
+// analyzer's evaluation cap.
+func (a *Analyzer) CleanAccuracy() float64 {
+	a.Opts = a.Opts.WithDefaults()
+	x, y := a.evalData()
+	return caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
+}
+
+// evalData returns the (possibly truncated) test split.
+func (a *Analyzer) evalData() (*tensor.Tensor, []int) {
+	x, y := a.Data.TestX, a.Data.TestY
+	if a.Opts.MaxEval > 0 && a.Opts.MaxEval < x.Shape[0] {
+		n := a.Opts.MaxEval
+		sample := x.Len() / x.Shape[0]
+		x = tensor.NewFrom(x.Data[:n*sample], append([]int{n}, x.Shape[1:]...)...)
+		y = y[:n]
+	}
+	return x, y
+}
+
+// ExtractGroups is Step 1: one instrumented forward pass enumerates the
+// injection sites, partitioned by Table III group.
+func (a *Analyzer) ExtractGroups() map[noise.Group][]noise.Site {
+	if a.sites != nil {
+		return a.sites
+	}
+	rec := noise.NewSiteRecorder()
+	x, _ := a.evalData()
+	sample := x.Len() / x.Shape[0]
+	one := tensor.NewFrom(x.Data[:sample], append([]int{1}, x.Shape[1:]...)...)
+	a.Net.Forward(one, rec)
+	a.sites = rec.ByGroup()
+	return a.sites
+}
+
+// sweep measures accuracy across the NM grid with the given site filter.
+// Sweep points are independent (inference layers are stateless and each
+// point gets its own seeded injector), so they evaluate concurrently with
+// a small worker bound; results are deterministic per seed regardless of
+// scheduling.
+func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
+	o := a.Opts
+	x, y := a.evalData()
+	points := make([]SweepPoint, len(o.NMSweep))
+
+	type job struct{ pi int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := 3
+	if workers > len(o.NMSweep) {
+		workers = len(o.NMSweep)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				nm := o.NMSweep[j.pi]
+				acc := 0.0
+				if nm == 0 {
+					acc = clean
+				} else {
+					for trial := 0; trial < o.Trials; trial++ {
+						seed := o.Seed + seedBase + uint64(j.pi)*1000 + uint64(trial)
+						inj := noise.NewGaussian(nm, o.NA, filter, seed)
+						acc += caps.Accuracy(a.Net, x, y, inj, o.Batch)
+					}
+					acc /= float64(o.Trials)
+				}
+				points[j.pi] = SweepPoint{NM: nm, Accuracy: acc, Drop: acc - clean}
+			}
+		}()
+	}
+	for pi := range o.NMSweep {
+		jobs <- job{pi}
+	}
+	close(jobs)
+	wg.Wait()
+	return points
+}
+
+// toleratedNM returns the largest NM whose drop stays within the
+// threshold (the grid is descending; 0 is always tolerated).
+func toleratedNM(points []SweepPoint, threshold float64) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.Drop >= -threshold && p.NM > best {
+			best = p.NM
+		}
+	}
+	return best
+}
+
+// AnalyzeGroups is Step 2 + Step 3.
+func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
+	o := a.Opts
+	groups := a.ExtractGroups()
+	// Stable order: Table III order, skipping absent groups.
+	var out []GroupResult
+	var tols []float64
+	for gi, g := range noise.Groups() {
+		if len(groups[g]) == 0 {
+			continue
+		}
+		pts := a.sweep(noise.ForGroup(g), clean, uint64(gi)*100000)
+		tol := toleratedNM(pts, o.Threshold)
+		tols = append(tols, tol)
+		out = append(out, GroupResult{Group: g, Points: pts, ToleratedNM: tol})
+	}
+	// Step 3: a group is resilient when it tolerates strictly more noise
+	// than the median group (or the entire sweep).
+	med := median(tols)
+	maxNM := o.NMSweep[0]
+	for i := range out {
+		out[i].Resilient = out[i].ToleratedNM >= maxNM ||
+			(out[i].ToleratedNM > med && out[i].ToleratedNM > 0)
+	}
+	return out
+}
+
+// AnalyzeLayers is Step 4 + Step 5: per-layer sweeps for each
+// non-resilient group.
+func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerResult {
+	o := a.Opts
+	sitesByGroup := a.ExtractGroups()
+	var out []LayerResult
+	for gi, gr := range groups {
+		if gr.Resilient {
+			continue
+		}
+		var tols []float64
+		start := len(out)
+		for li, site := range sitesByGroup[gr.Group] {
+			pts := a.sweep(noise.ForLayerGroup(site.Layer, gr.Group), clean,
+				uint64(gi+1)*10000000+uint64(li)*100000)
+			tol := toleratedNM(pts, o.Threshold)
+			tols = append(tols, tol)
+			out = append(out, LayerResult{
+				Layer: site.Layer, Group: gr.Group,
+				Points: pts, ToleratedNM: tol,
+			})
+		}
+		// Step 5: mark layers at or above their group's median tolerance.
+		med := median(tols)
+		for i := start; i < len(out); i++ {
+			out[i].Resilient = out[i].ToleratedNM >= med && med > 0
+		}
+	}
+	return out
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// ComponentProfile pairs a library component with its measured noise
+// parameters under a representative input distribution (see
+// approx.Characterize).
+type ComponentProfile struct {
+	Component approx.Component
+	NM, NA    float64
+}
+
+// ProfileLibrary characterizes every library component under the given
+// distribution at the given MAC-chain length, ready for SelectComponents.
+func ProfileLibrary(dist approx.InputDist, chainLen, samples int, seed uint64) []ComponentProfile {
+	lib := approx.Library()
+	out := make([]ComponentProfile, 0, len(lib))
+	for _, c := range lib {
+		p := approx.Characterize(c.Model, dist, chainLen, samples, seed)
+		out = append(out, ComponentProfile{Component: c, NM: p.NM, NA: p.NA})
+	}
+	return out
+}
+
+// SelectComponents is Step 6: for every site, pick the lowest-power
+// component whose measured NM fits the site's tolerated budget. Sites in
+// resilient groups get the full budget of the largest swept NM; sites in
+// non-resilient groups use their layer's tolerated NM.
+func (a *Analyzer) SelectComponents(groups []GroupResult, layers []LayerResult, profiles []ComponentProfile) []Choice {
+	o := a.Opts
+	maxNM := o.NMSweep[0]
+
+	budget := map[noise.Site]float64{}
+	for _, gr := range groups {
+		tol := gr.ToleratedNM
+		if tol > maxNM {
+			tol = maxNM
+		}
+		for _, s := range a.ExtractGroups()[gr.Group] {
+			budget[s] = tol
+		}
+	}
+	for _, lr := range layers {
+		budget[noise.Site{Layer: lr.Layer, Group: lr.Group}] = lr.ToleratedNM
+	}
+
+	// Cheapest-first scan.
+	sorted := append([]ComponentProfile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Component.PowerUW < sorted[j].Component.PowerUW
+	})
+
+	sites := []noise.Site{}
+	for _, g := range noise.Groups() {
+		sites = append(sites, a.ExtractGroups()[g]...)
+	}
+
+	var out []Choice
+	for _, s := range sites {
+		b := budget[s]
+		chosen := sorted[len(sorted)-1] // fallback: most accurate
+		for _, p := range sorted {
+			if p.NM <= b {
+				chosen = p
+				break
+			}
+		}
+		if b == 0 {
+			// No tolerance measured: force the accurate component.
+			for _, p := range sorted {
+				if p.NM == 0 {
+					chosen = p
+					break
+				}
+			}
+		}
+		out = append(out, Choice{
+			Site:        s,
+			Component:   chosen.Component,
+			ComponentNM: chosen.NM,
+			BudgetNM:    b,
+		})
+	}
+	return out
+}
+
+// NewPerSiteInjector builds the validation injector: each site receives
+// its selected component's NM (NA = 0 as in the paper's general case).
+func NewPerSiteInjector(choices []Choice, seed uint64) *noise.PerSite {
+	params := map[noise.Site]noise.Params{}
+	for _, c := range choices {
+		params[c.Site] = noise.Params{NM: c.ComponentNM, NA: 0}
+	}
+	return noise.NewPerSite(params, seed)
+}
+
+// Run executes the full 6-step methodology and assembles the report.
+func (a *Analyzer) Run(profiles []ComponentProfile) *Report {
+	a.Opts = a.Opts.WithDefaults()
+	x, y := a.evalData()
+	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
+
+	groups := a.AnalyzeGroups(clean)
+	layers := a.AnalyzeLayers(groups, clean)
+	choices := a.SelectComponents(groups, layers, profiles)
+
+	// Predicted multiplier-energy saving, weighted by per-layer MAC ops.
+	mulOps := a.Net.OpsByLayer(1)
+	var totalMul, savedMul float64
+	for _, c := range choices {
+		if c.Site.Group != noise.MACOutputs {
+			continue
+		}
+		m := mulOps[c.Site.Layer].Mul
+		totalMul += m
+		savedMul += m * c.Component.PowerReduction()
+	}
+	saving := 0.0
+	if totalMul > 0 {
+		saving = savedMul / totalMul
+	}
+
+	inj := NewPerSiteInjector(choices, a.Opts.Seed+777)
+	validated := caps.Accuracy(a.Net, x, y, inj, a.Opts.Batch)
+
+	return &Report{
+		Network:           a.Net.Name(),
+		Dataset:           a.Data.Name,
+		CleanAccuracy:     clean,
+		Groups:            groups,
+		Layers:            layers,
+		Choices:           choices,
+		MulEnergySaving:   saving,
+		ValidatedAccuracy: validated,
+	}
+}
+
+// FormatReport renders a human-readable summary.
+func FormatReport(r *Report) string {
+	s := fmt.Sprintf("ReD-CaNe report: %s on %s\nclean accuracy: %.2f%%\n\ngroup-wise resilience:\n",
+		r.Network, r.Dataset, 100*r.CleanAccuracy)
+	for _, g := range r.Groups {
+		status := "non-resilient"
+		if g.Resilient {
+			status = "RESILIENT"
+		}
+		s += fmt.Sprintf("  %-14s tolerated NM=%.3f  [%s]\n", g.Group, g.ToleratedNM, status)
+	}
+	if len(r.Layers) > 0 {
+		s += "\nlayer-wise (non-resilient groups):\n"
+		for _, l := range r.Layers {
+			mark := ""
+			if l.Resilient {
+				mark = "  (resilient)"
+			}
+			s += fmt.Sprintf("  %-10s %-14s tolerated NM=%.3f%s\n", l.Layer, l.Group, l.ToleratedNM, mark)
+		}
+	}
+	s += "\nselected components:\n"
+	for _, c := range r.Choices {
+		s += fmt.Sprintf("  %-10s %-14s -> %-12s (NM=%.4f, budget=%.3f, power %-4.0f µW)\n",
+			c.Site.Layer, c.Site.Group, c.Component.Name, c.ComponentNM, c.BudgetNM, c.Component.PowerUW)
+	}
+	s += fmt.Sprintf("\npredicted multiplier-energy saving: %.1f%%\nvalidated accuracy: %.2f%% (drop %.2f pp)\n",
+		100*r.MulEnergySaving, 100*r.ValidatedAccuracy, 100*(r.ValidatedAccuracy-r.CleanAccuracy))
+	return s
+}

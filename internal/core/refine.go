@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"redcane/internal/caps"
+	"redcane/internal/noise"
+)
+
+// RefineStep records one repair action of the refinement loop.
+type RefineStep struct {
+	Round    int
+	Site     noise.Site
+	From, To string
+	// Accuracy is the validated accuracy after the upgrade.
+	Accuracy float64
+}
+
+// RefineResult is the outcome of Refine.
+type RefineResult struct {
+	Choices []Choice
+	Steps   []RefineStep
+	// Final validated accuracy and whether the target was met.
+	Accuracy float64
+	Met      bool
+}
+
+// Refine extends the methodology's Step 6 with a validate-and-repair
+// loop (a natural extension the paper leaves open): the full approximate
+// design is validated by simultaneous per-site injection; while the
+// accuracy drop exceeds maxDrop, the active site with the largest noise
+// magnitude is upgraded to the next more accurate library component, and
+// validation repeats. This closes the gap between per-site budgets
+// (measured in isolation) and their composed effect.
+func (a *Analyzer) Refine(choices []Choice, profiles []ComponentProfile, clean, maxDrop float64, maxRounds int) RefineResult {
+	a.Opts = a.Opts.WithDefaults()
+	x, y := a.evalData()
+
+	// Profiles ordered by ascending NM = the upgrade ladder.
+	ladder := append([]ComponentProfile(nil), profiles...)
+	sort.Slice(ladder, func(i, j int) bool { return ladder[i].NM < ladder[j].NM })
+	rank := map[string]int{}
+	for i, p := range ladder {
+		rank[p.Component.Name] = i
+	}
+
+	cur := append([]Choice(nil), choices...)
+	res := RefineResult{}
+	for round := 0; round < maxRounds; round++ {
+		inj := NewPerSiteInjector(cur, a.Opts.Seed+900+uint64(round))
+		acc := caps.Accuracy(a.Net, x, y, inj, a.Opts.Batch)
+		res.Accuracy = acc
+		if acc >= clean-maxDrop {
+			res.Met = true
+			break
+		}
+		// Upgrade the noisiest non-exact choice.
+		worst := -1
+		for i, c := range cur {
+			if c.ComponentNM == 0 {
+				continue
+			}
+			if worst < 0 || c.ComponentNM > cur[worst].ComponentNM {
+				worst = i
+			}
+		}
+		if worst < 0 {
+			break // everything already exact; nothing to repair
+		}
+		r := rank[cur[worst].Component.Name]
+		if r == 0 {
+			break
+		}
+		next := ladder[r-1]
+		step := RefineStep{
+			Round: round,
+			Site:  cur[worst].Site,
+			From:  cur[worst].Component.Name,
+			To:    next.Component.Name,
+		}
+		cur[worst].Component = next.Component
+		cur[worst].ComponentNM = next.NM
+		inj2 := NewPerSiteInjector(cur, a.Opts.Seed+900+uint64(round))
+		step.Accuracy = caps.Accuracy(a.Net, x, y, inj2, a.Opts.Batch)
+		res.Steps = append(res.Steps, step)
+		res.Accuracy = step.Accuracy
+		if step.Accuracy >= clean-maxDrop {
+			res.Met = true
+			break
+		}
+	}
+	res.Choices = cur
+	return res
+}
+
+// FormatRefine renders the refinement trace.
+func FormatRefine(r RefineResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "refinement: %d upgrades, final accuracy %.2f%%, target met: %v\n",
+		len(r.Steps), 100*r.Accuracy, r.Met)
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "  round %d: %s/%s  %s -> %s  (acc %.2f%%)\n",
+			s.Round, s.Site.Layer, s.Site.Group, s.From, s.To, 100*s.Accuracy)
+	}
+	return b.String()
+}

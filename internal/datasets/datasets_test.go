@@ -1,0 +1,264 @@
+package datasets
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"redcane/internal/tensor"
+)
+
+func TestAllDatasetsBasicInvariants(t *testing.T) {
+	for _, d := range []*Dataset{
+		MNISTLike(40, 20, 1),
+		FashionLike(40, 20, 2),
+		CIFARLike(40, 20, 3),
+		SVHNLike(40, 20, 4),
+	} {
+		t.Run(d.Name, func(t *testing.T) {
+			if d.Classes() != 10 {
+				t.Fatalf("classes = %d", d.Classes())
+			}
+			if d.TrainX.Shape[0] != 40 || d.TestX.Shape[0] != 20 {
+				t.Fatalf("split shapes: %v / %v", d.TrainX.Shape, d.TestX.Shape)
+			}
+			if d.TrainX.Shape[1] != d.Channels || d.TrainX.Shape[2] != d.H {
+				t.Fatalf("image shape mismatch: %v", d.TrainX.Shape)
+			}
+			lo, hi := d.TrainX.MinMax()
+			if lo < 0 || hi > 1 {
+				t.Fatalf("pixels out of [0,1]: [%g, %g]", lo, hi)
+			}
+			if hi == 0 {
+				t.Fatal("all-black dataset")
+			}
+			// Balanced labels.
+			counts := make([]int, 10)
+			for _, y := range d.TrainY {
+				counts[y]++
+			}
+			for c, n := range counts {
+				if n != 4 {
+					t.Fatalf("class %d has %d samples, want 4", c, n)
+				}
+			}
+		})
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a := MNISTLike(20, 10, 7)
+	b := MNISTLike(20, 10, 7)
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != b.TrainX.Data[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	c := MNISTLike(20, 10, 8)
+	same := true
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != c.TrainX.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical data")
+	}
+}
+
+func TestTrainTestSplitsDiffer(t *testing.T) {
+	d := CIFARLike(20, 20, 9)
+	same := true
+	for i := range d.TrainX.Data {
+		if d.TrainX.Data[i] != d.TestX.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and test splits are identical")
+	}
+}
+
+// classSeparation verifies classes are visually distinct: the mean image
+// of each class must differ from every other class's mean image.
+func TestClassesAreSeparable(t *testing.T) {
+	for _, d := range []*Dataset{
+		MNISTLike(200, 10, 11),
+		FashionLike(200, 10, 12),
+		CIFARLike(200, 10, 13),
+		SVHNLike(200, 10, 14),
+	} {
+		t.Run(d.Name, func(t *testing.T) {
+			sz := d.Channels * d.H * d.W
+			means := make([][]float64, 10)
+			counts := make([]int, 10)
+			for i := range means {
+				means[i] = make([]float64, sz)
+			}
+			for i, y := range d.TrainY {
+				for j := 0; j < sz; j++ {
+					means[y][j] += d.TrainX.Data[i*sz+j]
+				}
+				counts[y]++
+			}
+			for c := range means {
+				for j := range means[c] {
+					means[c][j] /= float64(counts[c])
+				}
+			}
+			for a := 0; a < 10; a++ {
+				for b := a + 1; b < 10; b++ {
+					dist := 0.0
+					for j := 0; j < sz; j++ {
+						dd := means[a][j] - means[b][j]
+						dist += dd * dd
+					}
+					if math.Sqrt(dist) < 0.25 {
+						t.Fatalf("classes %d and %d nearly identical (dist %g)", a, b, math.Sqrt(dist))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSampleView(t *testing.T) {
+	d := MNISTLike(10, 5, 15)
+	s := d.Sample(3)
+	if s.Shape[0] != 1 || s.Shape[1] != 1 || s.Shape[2] != 20 {
+		t.Fatalf("sample shape = %v", s.Shape)
+	}
+	// View shares the underlying data.
+	if &s.Data[0] != &d.TrainX.Data[3*400] {
+		t.Fatal("Sample must be a view, not a copy")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mnist", "fashion-mnist", "cifar10", "svhn", "mnist-like"} {
+		d, err := ByName(name, 10, 10, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d == nil || d.TrainX.Shape[0] != 10 {
+			t.Fatalf("ByName(%q) returned bad dataset", name)
+		}
+	}
+	if _, err := ByName("imagenet", 1, 1, 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	cv := NewCanvas(1, 16, 16)
+	cv.Line(0.1, 0.5, 0.9, 0.5, 2, Gray(1))
+	sum := 0.0
+	for _, v := range cv.Pix {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("Line drew nothing")
+	}
+
+	cv2 := NewCanvas(3, 16, 16)
+	cv2.FillRect(0.25, 0.25, 0.75, 0.75, RGB(1, 0.5, 0))
+	r := tensor.NewFrom(cv2.Pix[:256], 256).Sum()
+	g := tensor.NewFrom(cv2.Pix[256:512], 256).Sum()
+	b := tensor.NewFrom(cv2.Pix[512:], 256).Sum()
+	if r <= 0 || g <= 0 || b != 0 {
+		t.Fatalf("FillRect channel sums r=%g g=%g b=%g", r, g, b)
+	}
+	if math.Abs(g/r-0.5) > 0.05 {
+		t.Fatalf("color scaling wrong: g/r = %g", g/r)
+	}
+
+	cv3 := NewCanvas(1, 16, 16)
+	cv3.Ellipse(0.5, 0.5, 0.3, 0.3, 0, true, Gray(1))
+	center := cv3.Pix[8*16+8]
+	corner := cv3.Pix[0]
+	if center != 1 || corner != 0 {
+		t.Fatalf("filled ellipse: center=%g corner=%g", center, corner)
+	}
+}
+
+func TestPointInPolygon(t *testing.T) {
+	square := []float64{0, 0, 1, 0, 1, 1, 0, 1}
+	if !pointInPolygon(0.5, 0.5, square) {
+		t.Fatal("center not inside square")
+	}
+	if pointInPolygon(1.5, 0.5, square) {
+		t.Fatal("outside point reported inside")
+	}
+}
+
+func TestJitterKeepsDigitsVisible(t *testing.T) {
+	// Jittered digits must stay mostly on-canvas: every generated digit
+	// image needs a minimum amount of ink.
+	d := MNISTLike(100, 1, 21)
+	sz := d.H * d.W
+	for i := 0; i < 100; i++ {
+		ink := 0.0
+		for _, v := range d.TrainX.Data[i*sz : (i+1)*sz] {
+			ink += v
+		}
+		if ink < 5 {
+			t.Fatalf("sample %d (class %d) nearly empty: ink=%g", i, d.TrainY[i], ink)
+		}
+	}
+}
+
+func TestToImageGrayAndRGB(t *testing.T) {
+	d1 := MNISTLike(5, 1, 30)
+	img := ToImage(d1.Sample(0), 1, 20, 20)
+	if img.Bounds().Dx() != 20 || img.Bounds().Dy() != 20 {
+		t.Fatalf("gray image bounds = %v", img.Bounds())
+	}
+	d3 := CIFARLike(5, 1, 31)
+	rgb := ToImage(d3.Sample(0), 3, 16, 16)
+	if rgb.Bounds().Dx() != 16 {
+		t.Fatalf("rgb image bounds = %v", rgb.Bounds())
+	}
+	// Some pixel must be non-black.
+	nonBlack := false
+	for y := 0; y < 16 && !nonBlack; y++ {
+		for x := 0; x < 16; x++ {
+			r, g, b, _ := rgb.At(x, y).RGBA()
+			if r+g+b > 0 {
+				nonBlack = true
+				break
+			}
+		}
+	}
+	if !nonBlack {
+		t.Fatal("rendered image is all black")
+	}
+}
+
+func TestToImageWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ToImage(tensor.New(10), 1, 20, 20)
+}
+
+func TestSamplePNGAndContactSheet(t *testing.T) {
+	dir := t.TempDir()
+	d := FashionLike(20, 1, 32)
+	if err := d.SamplePNG(0, dir+"/one.png"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ContactSheet(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 { // one.png + 10 classes
+		t.Fatalf("contact sheet wrote %d files", len(entries))
+	}
+}

@@ -1,0 +1,118 @@
+package datasets
+
+// Vector glyph tables: stroke paths in the unit square for the ten digits
+// (MNIST/SVHN analogues) and filled-polygon silhouettes for the ten
+// Fashion-MNIST-like garment classes.
+
+// digitStrokes holds one or more polylines per digit (flattened x,y pairs).
+var digitStrokes = [10][][]float64{
+	// 0: oval drawn as closed polyline handled by drawDigit via Ellipse.
+	0: nil, // special-cased: ellipse
+	1: {{0.35, 0.3, 0.55, 0.12, 0.55, 0.88}},
+	2: {{0.22, 0.3, 0.3, 0.14, 0.6, 0.12, 0.75, 0.3, 0.72, 0.45, 0.25, 0.85, 0.78, 0.85}},
+	3: {{0.25, 0.15, 0.7, 0.15, 0.45, 0.45, 0.72, 0.62, 0.6, 0.85, 0.25, 0.85}},
+	4: {{0.62, 0.88, 0.62, 0.12, 0.22, 0.6, 0.8, 0.6}},
+	5: {{0.72, 0.14, 0.3, 0.14, 0.27, 0.48, 0.6, 0.45, 0.72, 0.65, 0.6, 0.86, 0.25, 0.86}},
+	6: {{0.68, 0.14, 0.35, 0.35, 0.28, 0.62, 0.4, 0.85, 0.65, 0.82, 0.7, 0.6, 0.52, 0.5, 0.3, 0.58}},
+	7: {{0.22, 0.14, 0.78, 0.14, 0.45, 0.88}},
+	8: nil, // special-cased: two stacked ellipses
+	9: {{0.7, 0.42, 0.48, 0.5, 0.3, 0.4, 0.32, 0.18, 0.55, 0.12, 0.7, 0.25, 0.68, 0.6, 0.55, 0.88}},
+}
+
+// drawDigit strokes digit d onto the canvas with the given stroke width
+// and color.
+func drawDigit(cv *Canvas, d int, width float64, col Color) {
+	switch d {
+	case 0:
+		cv.Ellipse(0.5, 0.5, 0.24, 0.38, width, false, col)
+	case 8:
+		cv.Ellipse(0.5, 0.3, 0.2, 0.18, width, false, col)
+		cv.Ellipse(0.5, 0.68, 0.23, 0.2, width, false, col)
+	default:
+		for _, path := range digitStrokes[d] {
+			cv.Polyline(path, width, col)
+		}
+	}
+}
+
+// fashionNames are the Fashion-MNIST class names, in label order.
+var fashionNames = []string{
+	"tshirt", "trouser", "pullover", "dress", "coat",
+	"sandal", "shirt", "sneaker", "bag", "boot",
+}
+
+// drawGarment renders the silhouette for fashion class d.
+func drawGarment(cv *Canvas, d int, col Color) {
+	switch d {
+	case 0: // t-shirt: boxy body + short sleeves
+		cv.FillPolygon([]float64{0.3, 0.25, 0.7, 0.25, 0.88, 0.4, 0.75, 0.5, 0.7, 0.42, 0.7, 0.85, 0.3, 0.85, 0.3, 0.42, 0.25, 0.5, 0.12, 0.4}, col)
+	case 1: // trousers: two legs
+		cv.FillPolygon([]float64{0.3, 0.15, 0.7, 0.15, 0.72, 0.88, 0.56, 0.88, 0.5, 0.4, 0.44, 0.88, 0.28, 0.88}, col)
+	case 2: // pullover: long sleeves hugging the body
+		cv.FillPolygon([]float64{0.32, 0.2, 0.68, 0.2, 0.8, 0.3, 0.85, 0.8, 0.72, 0.82, 0.68, 0.45, 0.68, 0.88, 0.32, 0.88, 0.32, 0.45, 0.28, 0.82, 0.15, 0.8, 0.2, 0.3}, col)
+	case 3: // dress: fitted top, flared skirt
+		cv.FillPolygon([]float64{0.4, 0.12, 0.6, 0.12, 0.58, 0.4, 0.78, 0.88, 0.22, 0.88, 0.42, 0.4}, col)
+	case 4: // coat: open front (two panels)
+		cv.FillPolygon([]float64{0.3, 0.15, 0.47, 0.15, 0.47, 0.88, 0.26, 0.88, 0.22, 0.35}, col)
+		cv.FillPolygon([]float64{0.53, 0.15, 0.7, 0.15, 0.78, 0.35, 0.74, 0.88, 0.53, 0.88}, col)
+	case 5: // sandal: sole + straps
+		cv.FillPolygon([]float64{0.15, 0.7, 0.85, 0.62, 0.88, 0.74, 0.15, 0.8}, col)
+		cv.Line(0.3, 0.72, 0.45, 0.45, 1.2, col)
+		cv.Line(0.6, 0.66, 0.5, 0.42, 1.2, col)
+	case 6: // shirt: collar wedge + body
+		cv.FillPolygon([]float64{0.3, 0.2, 0.45, 0.2, 0.5, 0.32, 0.55, 0.2, 0.7, 0.2, 0.82, 0.34, 0.72, 0.44, 0.7, 0.88, 0.3, 0.88, 0.28, 0.44, 0.18, 0.34}, col)
+	case 7: // sneaker: low profile with toe cap
+		cv.FillPolygon([]float64{0.12, 0.72, 0.3, 0.5, 0.55, 0.5, 0.85, 0.62, 0.88, 0.76, 0.12, 0.8}, col)
+		cv.Line(0.35, 0.55, 0.45, 0.68, 0.8, Gray(0))
+	case 8: // bag: body + handle
+		cv.FillPolygon([]float64{0.2, 0.45, 0.8, 0.45, 0.85, 0.85, 0.15, 0.85}, col)
+		cv.Ellipse(0.5, 0.38, 0.15, 0.12, 1.2, false, col)
+	case 9: // ankle boot: tall shaft + foot
+		cv.FillPolygon([]float64{0.3, 0.15, 0.55, 0.15, 0.55, 0.55, 0.85, 0.68, 0.85, 0.82, 0.28, 0.82}, col)
+	}
+}
+
+// shapeNames are the CIFAR-like class names, in label order.
+var shapeNames = []string{
+	"circle", "square", "triangle", "ring", "cross",
+	"star", "hstripes", "vstripes", "checker", "diamond",
+}
+
+// drawShape renders CIFAR-like class d in the given color.
+func drawShape(cv *Canvas, d int, col Color) {
+	switch d {
+	case 0:
+		cv.Ellipse(0.5, 0.5, 0.3, 0.3, 0, true, col)
+	case 1:
+		cv.FillRect(0.25, 0.25, 0.75, 0.75, col)
+	case 2:
+		cv.FillPolygon([]float64{0.5, 0.15, 0.85, 0.8, 0.15, 0.8}, col)
+	case 3:
+		cv.Ellipse(0.5, 0.5, 0.32, 0.32, 2.2, false, col)
+	case 4:
+		cv.FillRect(0.42, 0.15, 0.58, 0.85, col)
+		cv.FillRect(0.15, 0.42, 0.85, 0.58, col)
+	case 5: // four-point star
+		cv.FillPolygon([]float64{0.5, 0.1, 0.6, 0.4, 0.9, 0.5, 0.6, 0.6, 0.5, 0.9, 0.4, 0.6, 0.1, 0.5, 0.4, 0.4}, col)
+	case 6:
+		for y := 0.15; y < 0.85; y += 0.25 {
+			cv.FillRect(0.12, y, 0.88, y+0.12, col)
+		}
+	case 7:
+		for x := 0.15; x < 0.85; x += 0.25 {
+			cv.FillRect(x, 0.12, x+0.12, 0.88, col)
+		}
+	case 8:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if (i+j)%2 == 0 {
+					x0 := 0.14 + float64(i)*0.24
+					y0 := 0.14 + float64(j)*0.24
+					cv.FillRect(x0, y0, x0+0.24, y0+0.24, col)
+				}
+			}
+		}
+	case 9:
+		cv.FillPolygon([]float64{0.5, 0.12, 0.85, 0.5, 0.5, 0.88, 0.15, 0.5}, col)
+	}
+}

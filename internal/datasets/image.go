@@ -1,0 +1,89 @@
+package datasets
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+
+	"redcane/internal/tensor"
+)
+
+// ToImage converts one NCHW sample (shape [1, C, H, W] or [C, H, W]
+// flattened view) into an image.Image for visual inspection of the
+// synthetic datasets. Values are clamped to [0, 1]; single-channel
+// samples render as grayscale.
+func ToImage(sample *tensor.Tensor, channels, h, w int) image.Image {
+	if sample.Len() != channels*h*w {
+		panic(fmt.Sprintf("datasets: sample has %d values, want %d", sample.Len(), channels*h*w))
+	}
+	clamp := func(v float64) uint8 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return uint8(v*255 + 0.5)
+	}
+	if channels == 1 {
+		img := image.NewGray(image.Rect(0, 0, w, h))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				img.SetGray(x, y, color.Gray{Y: clamp(sample.Data[y*w+x])})
+			}
+		}
+		return img
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px := color.RGBA{A: 255}
+			px.R = clamp(sample.Data[0*h*w+y*w+x])
+			if channels > 1 {
+				px.G = clamp(sample.Data[1*h*w+y*w+x])
+			}
+			if channels > 2 {
+				px.B = clamp(sample.Data[2*h*w+y*w+x])
+			}
+			img.SetRGBA(x, y, px)
+		}
+	}
+	return img
+}
+
+// SamplePNG encodes train sample i as a PNG file.
+func (d *Dataset) SamplePNG(i int, path string) error {
+	img := ToImage(d.Sample(i), d.Channels, d.H, d.W)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("datasets: save png: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return fmt.Errorf("datasets: encode png: %w", err)
+	}
+	return nil
+}
+
+// ContactSheet writes one PNG per class (the first train sample of each)
+// into dir, named <dataset>-<class>.png — a quick visual sanity check of
+// the procedural generators.
+func (d *Dataset) ContactSheet(dir string) error {
+	seen := map[int]bool{}
+	for i, y := range d.TrainY {
+		if seen[y] {
+			continue
+		}
+		seen[y] = true
+		path := fmt.Sprintf("%s/%s-%s.png", dir, d.Name, d.ClassNames[y])
+		if err := d.SamplePNG(i, path); err != nil {
+			return err
+		}
+		if len(seen) == d.Classes() {
+			break
+		}
+	}
+	return nil
+}

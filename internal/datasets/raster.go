@@ -1,0 +1,225 @@
+// Package datasets synthesizes the four classification benchmarks used in
+// the paper's evaluation — MNIST, Fashion-MNIST, CIFAR-10 and SVHN — as
+// procedural, offline-generatable analogues (DESIGN.md §2): vector-drawn
+// digits, garment silhouettes, colored textured shapes, and digits over
+// cluttered color backgrounds. Every generator is deterministic in its
+// seed.
+package datasets
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Canvas is a small multi-channel raster surface with an affine transform
+// applied to all drawing coordinates. Coordinates are in the unit square
+// [0,1]²; the transform supports the per-sample jitter (rotation, scale,
+// translation) that makes the synthetic classes non-trivial.
+type Canvas struct {
+	C, H, W int
+	// Pix is channel-major: Pix[c*H*W + y*W + x], values in [0, 1].
+	Pix []float64
+
+	// Affine transform parameters applied around the canvas center.
+	rot    float64
+	scale  float64
+	dx, dy float64
+}
+
+// NewCanvas returns a black canvas with identity transform.
+func NewCanvas(c, h, w int) *Canvas {
+	return &Canvas{C: c, H: h, W: w, Pix: make([]float64, c*h*w), scale: 1}
+}
+
+// Jitter sets a random affine transform: rotation within ±maxRot radians,
+// scale within [1−s, 1+s], translation within ±t of the canvas size.
+func (cv *Canvas) Jitter(rng *rand.Rand, maxRot, s, t float64) {
+	cv.rot = (2*rng.Float64() - 1) * maxRot
+	cv.scale = 1 + (2*rng.Float64()-1)*s
+	cv.dx = (2*rng.Float64() - 1) * t
+	cv.dy = (2*rng.Float64() - 1) * t
+}
+
+// xform maps unit-square coordinates through the jitter transform into
+// pixel coordinates.
+func (cv *Canvas) xform(x, y float64) (px, py float64) {
+	// Center, scale, rotate, translate.
+	cx, cy := x-0.5, y-0.5
+	c, s := math.Cos(cv.rot), math.Sin(cv.rot)
+	rx := (cx*c - cy*s) * cv.scale
+	ry := (cx*s + cy*c) * cv.scale
+	return (rx + 0.5 + cv.dx) * float64(cv.W), (ry + 0.5 + cv.dy) * float64(cv.H)
+}
+
+// Color is a per-channel intensity in [0, 1]. For 1-channel canvases only
+// the first component is used.
+type Color []float64
+
+// Gray returns a single-channel color.
+func Gray(v float64) Color { return Color{v} }
+
+// RGB returns a three-channel color.
+func RGB(r, g, b float64) Color { return Color{r, g, b} }
+
+// blend adds color scaled by alpha at pixel (x, y), saturating at 1.
+func (cv *Canvas) blend(x, y int, col Color, alpha float64) {
+	if x < 0 || x >= cv.W || y < 0 || y >= cv.H || alpha <= 0 {
+		return
+	}
+	for c := 0; c < cv.C; c++ {
+		v := col[0]
+		if c < len(col) {
+			v = col[c]
+		}
+		idx := c*cv.H*cv.W + y*cv.W + x
+		nv := cv.Pix[idx] + v*alpha
+		if nv > 1 {
+			nv = 1
+		}
+		cv.Pix[idx] = nv
+	}
+}
+
+// coverage converts a signed distance (negative inside) into an
+// anti-aliased alpha over a one-pixel falloff.
+func coverage(dist float64) float64 {
+	switch {
+	case dist <= 0:
+		return 1
+	case dist >= 1:
+		return 0
+	default:
+		return 1 - dist
+	}
+}
+
+// Line draws a stroked segment between unit-square endpoints with the
+// given stroke width (in pixels).
+func (cv *Canvas) Line(x0, y0, x1, y1, width float64, col Color) {
+	ax, ay := cv.xform(x0, y0)
+	bx, by := cv.xform(x1, y1)
+	cv.linePx(ax, ay, bx, by, width, col)
+}
+
+func (cv *Canvas) linePx(ax, ay, bx, by, width float64, col Color) {
+	r := width / 2
+	minX := int(math.Floor(math.Min(ax, bx) - r - 1))
+	maxX := int(math.Ceil(math.Max(ax, bx) + r + 1))
+	minY := int(math.Floor(math.Min(ay, by) - r - 1))
+	maxY := int(math.Ceil(math.Max(ay, by) + r + 1))
+	dx, dy := bx-ax, by-ay
+	len2 := dx*dx + dy*dy
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			px, py := float64(x)+0.5, float64(y)+0.5
+			t := 0.0
+			if len2 > 0 {
+				t = ((px-ax)*dx + (py-ay)*dy) / len2
+				t = math.Max(0, math.Min(1, t))
+			}
+			qx, qy := ax+t*dx, ay+t*dy
+			d := math.Hypot(px-qx, py-qy) - r
+			cv.blend(x, y, col, coverage(d))
+		}
+	}
+}
+
+// Polyline strokes consecutive segments through the given unit-square
+// points (flattened x0,y0,x1,y1,...).
+func (cv *Canvas) Polyline(pts []float64, width float64, col Color) {
+	for i := 0; i+3 < len(pts); i += 2 {
+		cv.Line(pts[i], pts[i+1], pts[i+2], pts[i+3], width, col)
+	}
+}
+
+// Ellipse strokes (or fills) an axis-aligned ellipse centered at (cx, cy)
+// with radii (rx, ry) in unit coordinates.
+func (cv *Canvas) Ellipse(cx, cy, rx, ry, width float64, fill bool, col Color) {
+	// Walk the perimeter as short segments so the affine transform
+	// applies uniformly; fill via radial coverage.
+	if fill {
+		for y := 0; y < cv.H; y++ {
+			for x := 0; x < cv.W; x++ {
+				// Invert transform approximately by sampling: map the
+				// ellipse into pixel space via its bounding points.
+				ux, uy := cv.invert(float64(x)+0.5, float64(y)+0.5)
+				ex := (ux - cx) / rx
+				ey := (uy - cy) / ry
+				d := (math.Hypot(ex, ey) - 1) * rx * float64(cv.W)
+				cv.blend(x, y, col, coverage(d))
+			}
+		}
+		return
+	}
+	const segs = 40
+	prevX, prevY := cx+rx, cy
+	for i := 1; i <= segs; i++ {
+		a := 2 * math.Pi * float64(i) / segs
+		nx, ny := cx+rx*math.Cos(a), cy+ry*math.Sin(a)
+		cv.Line(prevX, prevY, nx, ny, width, col)
+		prevX, prevY = nx, ny
+	}
+}
+
+// invert maps pixel coordinates back to unit-square coordinates through
+// the inverse of the jitter transform.
+func (cv *Canvas) invert(px, py float64) (x, y float64) {
+	ux := px/float64(cv.W) - 0.5 - cv.dx
+	uy := py/float64(cv.H) - 0.5 - cv.dy
+	c, s := math.Cos(-cv.rot), math.Sin(-cv.rot)
+	rx := (ux*c - uy*s) / cv.scale
+	ry := (ux*s + uy*c) / cv.scale
+	return rx + 0.5, ry + 0.5
+}
+
+// FillPolygon fills a polygon given unit-square vertices (flattened
+// x0,y0,...), using even-odd coverage against the inverse transform.
+func (cv *Canvas) FillPolygon(pts []float64, col Color) {
+	n := len(pts) / 2
+	if n < 3 {
+		return
+	}
+	for y := 0; y < cv.H; y++ {
+		for x := 0; x < cv.W; x++ {
+			ux, uy := cv.invert(float64(x)+0.5, float64(y)+0.5)
+			if pointInPolygon(ux, uy, pts) {
+				cv.blend(x, y, col, 1)
+			}
+		}
+	}
+}
+
+func pointInPolygon(x, y float64, pts []float64) bool {
+	n := len(pts) / 2
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		xi, yi := pts[2*i], pts[2*i+1]
+		xj, yj := pts[2*j], pts[2*j+1]
+		if (yi > y) != (yj > y) && x < (xj-xi)*(y-yi)/(yj-yi)+xi {
+			inside = !inside
+		}
+		j = i
+	}
+	return inside
+}
+
+// FillRect fills an axis-aligned rectangle in unit coordinates.
+func (cv *Canvas) FillRect(x0, y0, x1, y1 float64, col Color) {
+	cv.FillPolygon([]float64{x0, y0, x1, y0, x1, y1, x0, y1}, col)
+}
+
+// AddNoise adds zero-mean Gaussian pixel noise with the given std,
+// clamping to [0, 1].
+func (cv *Canvas) AddNoise(rng *rand.Rand, std float64) {
+	for i := range cv.Pix {
+		v := cv.Pix[i] + std*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		cv.Pix[i] = v
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"redcane/internal/accel"
+	"redcane/internal/approx"
+	"redcane/internal/models"
+)
+
+// AccelResult extends Fig. 5 to the accelerator level: when the full
+// CapsAcc-style system (PE array + SRAM + DRAM) is modeled, how much of
+// each multiplier's power saving survives? The paper's Fig. 5 covers the
+// computational path only; a designer deciding on approximate components
+// needs the system number too.
+type AccelResult struct {
+	Reports []accel.LayerReport
+	Acc     accel.Summary
+	// Rows holds per-component system-level savings.
+	Rows []AccelRow
+}
+
+// AccelRow is one multiplier's accelerator-level outcome.
+type AccelRow struct {
+	Component string
+	// ComputeSaving is the compute-energy saving (≈ Fig. 5's XM view).
+	ComputeSaving float64
+	// SystemSaving includes SRAM + DRAM energy.
+	SystemSaving float64
+}
+
+// Accel analyzes the full-size DeepCaps on the default accelerator for
+// the accurate multiplier and a set of approximate ones.
+func Accel() (*AccelResult, error) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		return nil, err
+	}
+	cfg := accel.DefaultConfig()
+	reports, acc := accel.Analyze(net, cfg, 1)
+	out := &AccelResult{Reports: reports, Acc: acc}
+	for _, name := range []string{"mul8u_NGR", "mul8u_DM1", "mul8u_12N4", "mul8u_QKX"} {
+		c, err := approx.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		_, s := accel.Analyze(net, cfg, 1-c.PowerReduction())
+		out.Rows = append(out.Rows, AccelRow{
+			Component:     c.Name,
+			ComputeSaving: 1 - s.ComputePJ/acc.ComputePJ,
+			SystemSaving:  1 - s.TotalPJ()/acc.TotalPJ(),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the per-layer mapping and the component comparison.
+func (a *AccelResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Accelerator-level analysis (CapsAcc-style 16×16 array, full DeepCaps)\n")
+	b.WriteString(accel.FormatReports(a.Reports, a.Acc))
+	b.WriteString("\ncomponent savings at the system level:\n")
+	fmt.Fprintf(&b, "%-12s %16s %16s\n", "multiplier", "compute saving", "system saving")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-12s %15.1f%% %15.1f%%\n", r.Component, 100*r.ComputeSaving, 100*r.SystemSaving)
+	}
+	return b.String()
+}

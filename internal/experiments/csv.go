@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV writers for the sweep-style results, so the figures can be re-drawn
+// with external plotting tools. One row per measurement; headers match
+// the paper's axis labels.
+
+// WriteCSV emits the group-wise sweep as
+// (benchmark, group, nm, accuracy, drop).
+func (g *GroupSweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arch", "dataset", "group", "nm", "accuracy", "drop"}); err != nil {
+		return err
+	}
+	for _, gr := range g.Groups {
+		for _, p := range gr.Points {
+			rec := []string{
+				g.Benchmark.Arch, g.Benchmark.Dataset, gr.Group.String(),
+				fmt.Sprintf("%g", p.NM),
+				fmt.Sprintf("%g", p.Accuracy),
+				fmt.Sprintf("%g", p.Drop),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the layer-wise sweep as
+// (layer, group, nm, accuracy, drop, tolerated_nm).
+func (f *Fig10Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"layer", "group", "nm", "accuracy", "drop", "tolerated_nm"}); err != nil {
+		return err
+	}
+	for _, l := range f.Layers {
+		for _, p := range l.Points {
+			rec := []string{
+				l.Layer, l.Group.String(),
+				fmt.Sprintf("%g", p.NM),
+				fmt.Sprintf("%g", p.Accuracy),
+				fmt.Sprintf("%g", p.Drop),
+				fmt.Sprintf("%g", l.ToleratedNM),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Table IV as one row per component.
+func (t *Table4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"component", "power_uw", "area_um2",
+		"modeled_na", "modeled_nm", "real_na", "real_nm",
+		"paper_modeled_nm", "paper_modeled_na",
+	}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := []string{
+			r.Name,
+			fmt.Sprintf("%g", r.PowerUW), fmt.Sprintf("%g", r.AreaUM2),
+			fmt.Sprintf("%g", r.ModeledNA), fmt.Sprintf("%g", r.ModeledNM),
+			fmt.Sprintf("%g", r.RealNA), fmt.Sprintf("%g", r.RealNM),
+			fmt.Sprintf("%g", r.PaperModeledNM), fmt.Sprintf("%g", r.PaperModeledNA),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Fig. 6 error profiles as
+// (component, chain_len, mean, std, ks, nm, na).
+func (f *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"component", "chain_len", "mean", "std", "ks", "nm", "na"}); err != nil {
+		return err
+	}
+	for _, p := range f.Profiles {
+		rec := []string{
+			p.Component, fmt.Sprintf("%d", p.ChainLen),
+			fmt.Sprintf("%g", p.Fit.Mean), fmt.Sprintf("%g", p.Fit.Std),
+			fmt.Sprintf("%g", p.Fit.KS),
+			fmt.Sprintf("%g", p.NM), fmt.Sprintf("%g", p.NA),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestGroupSweepCSV(t *testing.T) {
+	res, err := runner(t).Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + len(res.Groups)*len(res.Groups[0].Points)
+	if len(rows) != wantRows {
+		t.Fatalf("csv rows = %d, want %d", len(rows), wantRows)
+	}
+	if rows[0][2] != "group" || rows[1][0] != "deepcaps" {
+		t.Fatalf("csv header/first row: %v / %v", rows[0], rows[1])
+	}
+}
+
+func TestFig10CSV(t *testing.T) {
+	res, err := runner(t).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 || rows[0][0] != "layer" {
+		t.Fatalf("fig10 csv malformed: %v", rows[:1])
+	}
+}
+
+func TestTable4AndFig6CSV(t *testing.T) {
+	r := runner(t)
+	t4, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := t4.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 { // header + 15 components
+		t.Fatalf("table4 csv rows = %d", len(rows))
+	}
+
+	f6, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := f6.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // header + 2 components × 3 chains
+		t.Fatalf("fig6 csv rows = %d", len(rows))
+	}
+}
+
+func TestAblationFaultTypes(t *testing.T) {
+	res, err := runner(t).AblationFaultTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3+3+6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	bySeverity := map[string][]float64{}
+	for _, row := range res.Rows {
+		bySeverity[row.Kind] = append(bySeverity[row.Kind], row.Drop)
+		if row.Drop > 0.1 {
+			t.Fatalf("fault injection improved accuracy implausibly: %+v", row)
+		}
+	}
+	// Severity must not *reduce* damage dramatically within each kind
+	// (allowing small non-monotonicity from sampling noise).
+	for kind, drops := range bySeverity {
+		first, last := drops[0], drops[len(drops)-1]
+		if last > first+0.05 {
+			t.Fatalf("%s: damage shrank with severity: %v", kind, drops)
+		}
+	}
+	if !strings.Contains(res.Render(), "stuck-at-1") {
+		t.Fatal("render missing rows")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"redcane/internal/approx"
+	"redcane/internal/energy"
+	"redcane/internal/models"
+)
+
+// PaperTableICounts are the operation counts the paper reports for the
+// full DeepCaps inference (Table I), kept for side-by-side reporting.
+var PaperTableICounts = energy.Counts{
+	Add:  1.91e9,
+	Mul:  2.15e9,
+	Div:  4.17e6,
+	Exp:  175e3,
+	Sqrt: 502e3,
+}
+
+// Table1Result reproduces Table I: operation counts of the full-size
+// DeepCaps plus the unit energies.
+type Table1Result struct {
+	Ours  energy.Counts
+	Paper energy.Counts
+	Units energy.UnitEnergy
+}
+
+// Table1 walks the paper-scale DeepCaps spec and tallies its arithmetic.
+func Table1() (*Table1Result, error) {
+	net, err := models.BuildInference(models.FullDeepCaps(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{
+		Ours:  net.Ops(1),
+		Paper: PaperTableICounts,
+		Units: energy.TableI,
+	}, nil
+}
+
+// Render formats the table with both count columns.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I — operations of one full DeepCaps inference\n")
+	fmt.Fprintf(&b, "%-15s %12s %12s %12s\n", "OPERATION", "# OPS (ours)", "# OPS (paper)", "Unit E [pJ]")
+	row := func(name string, ours, paper, e float64) {
+		fmt.Fprintf(&b, "%-15s %12s %12s %12.4f\n", name, human(ours), human(paper), e)
+	}
+	row("Addition", t.Ours.Add, t.Paper.Add, t.Units.Add)
+	row("Multiplication", t.Ours.Mul, t.Paper.Mul, t.Units.Mul)
+	row("Division", t.Ours.Div, t.Paper.Div, t.Units.Div)
+	row("Exponential", t.Ours.Exp, t.Paper.Exp, t.Units.Exp)
+	row("Square Root", t.Ours.Sqrt, t.Paper.Sqrt, t.Units.Sqrt)
+	return b.String()
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f G", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f M", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0f K", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Fig4Result reproduces Fig. 4: the energy breakdown per operation class.
+type Fig4Result struct {
+	Ours  energy.Breakdown
+	Paper energy.Breakdown
+}
+
+// Fig4 computes the energy shares for our counts and the paper's counts.
+func Fig4() (*Fig4Result, error) {
+	t, err := Table1()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{
+		Ours:  energy.ComputeBreakdown(t.Ours, t.Units),
+		Paper: energy.ComputeBreakdown(t.Paper, t.Units),
+	}, nil
+}
+
+// Render formats the two breakdowns.
+func (f *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — energy breakdown of the DeepCaps computational path\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s\n", "class", "ours", "paper")
+	fmt.Fprintf(&b, "%-8s %9.1f%% %9.1f%%\n", "Mult", 100*f.Ours.MulShare, 100*f.Paper.MulShare)
+	fmt.Fprintf(&b, "%-8s %9.1f%% %9.1f%%\n", "Add", 100*f.Ours.AddShare, 100*f.Paper.AddShare)
+	fmt.Fprintf(&b, "%-8s %9.1f%% %9.1f%%\n", "Other", 100*f.Ours.OtherShare, 100*f.Paper.OtherShare)
+	return b.String()
+}
+
+// Fig5Result reproduces Fig. 5: the Acc / XM / XA / XAM optimization
+// potential with the NGR approximate multiplier and 5LT-style adder.
+type Fig5Result struct {
+	Results []energy.ScenarioResult
+	// PaperSavings are the paper's reported bars for reference.
+	PaperSavings map[string]float64
+}
+
+// NGRPowerReduction is the paper's Fig. 6 caption value for the NGR
+// multiplier (−29.4 % power).
+const NGRPowerReduction = 0.294
+
+// Fig5 evaluates the four scenarios over the full DeepCaps op counts.
+func Fig5() (*Fig5Result, error) {
+	t, err := Table1()
+	if err != nil {
+		return nil, err
+	}
+	adder, _ := approx.AdderByName("add8u_5LT")
+	res := energy.EvaluateScenarios(t.Ours, t.Units,
+		energy.Scenarios(1-NGRPowerReduction, adder.EnergyScale))
+	return &Fig5Result{
+		Results: res,
+		PaperSavings: map[string]float64{
+			"Acc": 0, "XM": -0.283, "XA": -0.019, "XAM": -0.302,
+		},
+	}, nil
+}
+
+// Render formats the scenario bars.
+func (f *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — optimization potential of approximate components\n")
+	fmt.Fprintf(&b, "%-5s %14s %10s %10s\n", "cfg", "energy [µJ]", "ours", "paper")
+	for _, r := range f.Results {
+		fmt.Fprintf(&b, "%-5s %14.2f %9.1f%% %9.1f%%\n",
+			r.Scenario.Name, r.EnergyPJ/1e6, 100*r.SavingVsAcc, 100*f.PaperSavings[r.Scenario.Name])
+	}
+	return b.String()
+}

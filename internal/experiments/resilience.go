@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"redcane/internal/approx"
+	"redcane/internal/core"
+	"redcane/internal/noise"
+	"redcane/internal/plot"
+)
+
+// Table2Result reproduces Table II: clean classification accuracy of the
+// five (architecture, dataset) benchmarks with accurate multipliers.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2Row is one benchmark's accuracy.
+type Table2Row struct {
+	Benchmark Benchmark
+	Accuracy  float64 // ours, in percent
+}
+
+// Table2 trains (or loads) all five benchmarks and evaluates them.
+func (r *Runner) Table2() (*Table2Result, error) {
+	var out Table2Result
+	for _, b := range Benchmarks {
+		t, err := r.Trained(b)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table2Row{Benchmark: b, Accuracy: 100 * t.TestAcc})
+	}
+	return &out, nil
+}
+
+// Render formats Table II with the paper's reference column.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II — clean accuracy with accurate multipliers\n")
+	fmt.Fprintf(&b, "%-10s %-14s %10s %12s\n", "arch", "dataset", "ours [%]", "paper [%]")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %-14s %10.2f %12.2f\n",
+			row.Benchmark.Arch, row.Benchmark.Dataset, row.Accuracy, row.Benchmark.PaperAccuracy)
+	}
+	return b.String()
+}
+
+// Table3Result reproduces Table III: the partition of CapsNet inference
+// operations into groups, as extracted from the DeepCaps network.
+type Table3Result struct {
+	Groups []Table3Group
+}
+
+// Table3Group is one group row with its member sites.
+type Table3Group struct {
+	Group noise.Group
+	Sites []noise.Site
+}
+
+// Table3 extracts the operation groups from the trained DeepCaps.
+func (r *Runner) Table3() (*Table3Result, error) {
+	t, err := r.Trained(Benchmarks[0])
+	if err != nil {
+		return nil, err
+	}
+	a := &core.Analyzer{Net: t.Net, Data: t.Data, Opts: core.Options{MaxEval: 1}}
+	byGroup := a.ExtractGroups()
+	var out Table3Result
+	for _, g := range noise.Groups() {
+		out.Groups = append(out.Groups, Table3Group{Group: g, Sites: byGroup[g]})
+	}
+	return &out, nil
+}
+
+// Render formats the group table.
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III — grouping of the CapsNet inference operations\n")
+	fmt.Fprintf(&b, "%-3s %-14s %-60s %5s\n", "#", "group", "description", "sites")
+	for i, g := range t.Groups {
+		fmt.Fprintf(&b, "%-3d %-14s %-60s %5d\n", i+1, g.Group, g.Group.Description(), len(g.Sites))
+	}
+	return b.String()
+}
+
+// GroupSweepResult holds one benchmark's group-wise resilience curves
+// (Fig. 9 for DeepCaps/CIFAR, Fig. 12 for the other four benchmarks).
+type GroupSweepResult struct {
+	Benchmark Benchmark
+	Clean     float64
+	Groups    []core.GroupResult
+}
+
+// groupSweep runs methodology Steps 1–3 on one benchmark.
+func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
+	t, err := r.Trained(b)
+	if err != nil {
+		return nil, err
+	}
+	a := &core.Analyzer{
+		Net: t.Net, Data: t.Data,
+		Opts: core.Options{
+			NMSweep:   core.PaperNMSweep,
+			Trials:    r.trials(),
+			Batch:     32,
+			Threshold: r.threshold(),
+			Seed:      r.Cfg.Seed + 21,
+			MaxEval:   r.evalCap(),
+		}.WithDefaults(),
+	}
+	clean := a.CleanAccuracy()
+	return &GroupSweepResult{
+		Benchmark: b,
+		Clean:     clean,
+		Groups:    a.AnalyzeGroups(clean),
+	}, nil
+}
+
+// Fig9 is the group-wise resilience of DeepCaps on the CIFAR-like
+// dataset.
+func (r *Runner) Fig9() (*GroupSweepResult, error) {
+	return r.groupSweep(Benchmarks[0])
+}
+
+// Fig12 is the group-wise resilience of the other four benchmarks.
+func (r *Runner) Fig12() ([]*GroupSweepResult, error) {
+	var out []*GroupSweepResult
+	for _, b := range Benchmarks[1:] {
+		res, err := r.groupSweep(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Render formats the accuracy-drop curves as a table plus an ASCII chart
+// (the text analogue of the paper's Fig. 9/12 panels).
+func (g *GroupSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "group-wise resilience — %s on %s (clean %.2f%%)\n",
+		g.Benchmark.Arch, g.Benchmark.Dataset, 100*g.Clean)
+	fmt.Fprintf(&b, "%-14s", "NM")
+	for _, p := range g.Groups[0].Points {
+		fmt.Fprintf(&b, "%8.3g", p.NM)
+	}
+	b.WriteString("\n")
+	for _, gr := range g.Groups {
+		fmt.Fprintf(&b, "%-14s", gr.Group)
+		for _, p := range gr.Points {
+			fmt.Fprintf(&b, "%+8.1f", 100*p.Drop)
+		}
+		status := ""
+		if gr.Resilient {
+			status = "  [RESILIENT]"
+		}
+		fmt.Fprintf(&b, "  (accuracy drop %%)%s\n", status)
+	}
+	b.WriteString("\n")
+	b.WriteString(g.Chart().Render())
+	return b.String()
+}
+
+// Chart builds the accuracy-drop line chart of the sweep.
+func (g *GroupSweepResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "accuracy drop [%] vs noise magnitude",
+		XLabel: "NM (descending)",
+		Height: 12,
+	}
+	for _, p := range g.Groups[0].Points {
+		c.XTicks = append(c.XTicks, fmt.Sprintf("%.3g", p.NM))
+	}
+	c.Width = 6 * len(c.XTicks)
+	for _, gr := range g.Groups {
+		s := plot.Series{Name: gr.Group.String()}
+		for _, p := range gr.Points {
+			s.Values = append(s.Values, 100*p.Drop)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Fig10Result is the layer-wise resilience of the non-resilient groups
+// (DeepCaps on the CIFAR-like dataset).
+type Fig10Result struct {
+	Benchmark Benchmark
+	Clean     float64
+	Layers    []core.LayerResult
+}
+
+// Fig10 runs methodology Steps 4–5 on the Fig. 9 outcome.
+func (r *Runner) Fig10() (*Fig10Result, error) {
+	t, err := r.Trained(Benchmarks[0])
+	if err != nil {
+		return nil, err
+	}
+	a := &core.Analyzer{
+		Net: t.Net, Data: t.Data,
+		Opts: core.Options{
+			NMSweep:   core.PaperNMSweep,
+			Trials:    r.trials(),
+			Batch:     32,
+			Threshold: r.threshold(),
+			Seed:      r.Cfg.Seed + 22,
+			MaxEval:   r.evalCap(),
+		}.WithDefaults(),
+	}
+	clean := a.CleanAccuracy()
+	groups := a.AnalyzeGroups(clean)
+	layers := a.AnalyzeLayers(groups, clean)
+	return &Fig10Result{Benchmark: Benchmarks[0], Clean: clean, Layers: layers}, nil
+}
+
+// Render formats the per-layer tolerated noise magnitudes.
+func (f *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10 — layer-wise resilience of non-resilient groups (%s on %s)\n",
+		f.Benchmark.Arch, f.Benchmark.Dataset)
+	fmt.Fprintf(&b, "%-10s %-14s %12s %s\n", "layer", "group", "tolerated NM", "")
+	for _, l := range f.Layers {
+		mark := ""
+		if l.Resilient {
+			mark = "(resilient)"
+		}
+		fmt.Fprintf(&b, "%-10s %-14s %12.3f %s\n", l.Layer, l.Group, l.ToleratedNM, mark)
+	}
+	return b.String()
+}
+
+// DesignResult wraps the full 6-step methodology outcome for one
+// benchmark (the paper's final output: an approximate CapsNet design).
+type DesignResult struct {
+	Report *core.Report
+	// profiles are kept for RefineDesign.
+	profiles []core.ComponentProfile
+}
+
+// Design runs the complete ReD-CaNe methodology on one benchmark using
+// the real conv-input distribution for component characterization.
+func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
+	t, err := r.Trained(b)
+	if err != nil {
+		return nil, err
+	}
+	fig11, err := r.Fig11()
+	if err != nil {
+		return nil, err
+	}
+	samples := 20000
+	if r.Cfg.Quick {
+		samples = 5000
+	}
+	profiles := core.ProfileLibrary(
+		approx.EmpiricalDist(fig11.PoolA, fig11.PoolB), 9, samples, r.Cfg.Seed+9)
+	a := &core.Analyzer{
+		Net: t.Net, Data: t.Data,
+		Opts: core.Options{
+			Trials:    r.trials(),
+			Batch:     32,
+			Threshold: r.threshold(),
+			Seed:      r.Cfg.Seed + 23,
+			MaxEval:   r.evalCap(),
+		},
+	}
+	return &DesignResult{Report: a.Run(profiles), profiles: profiles}, nil
+}
+
+// Render formats the design report.
+func (d *DesignResult) Render() string { return core.FormatReport(d.Report) }
+
+// RefineDesign applies the validate-and-repair extension (core.Refine) to
+// an existing design: while the composed approximate CapsNet exceeds the
+// tolerable accuracy drop, the noisiest component assignment is upgraded.
+func (r *Runner) RefineDesign(b Benchmark, d *DesignResult) (core.RefineResult, error) {
+	t, err := r.Trained(b)
+	if err != nil {
+		return core.RefineResult{}, err
+	}
+	a := &core.Analyzer{
+		Net: t.Net, Data: t.Data,
+		Opts: core.Options{
+			Trials:    r.trials(),
+			Batch:     32,
+			Threshold: r.threshold(),
+			Seed:      r.Cfg.Seed + 24,
+			MaxEval:   r.evalCap(),
+		},
+	}
+	return a.Refine(d.Report.Choices, d.profiles, d.Report.CleanAccuracy, r.threshold(), 50), nil
+}

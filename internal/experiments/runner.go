@@ -1,0 +1,236 @@
+// Package experiments regenerates every table and figure of the ReD-CaNe
+// paper's evaluation (Tables I–IV, Figs. 4–6 and 9–12), plus the ablation
+// studies listed in DESIGN.md, against the pure-Go CapsNet stack and the
+// synthetic benchmark datasets. Each experiment returns a structured
+// result with a Render method producing the text form recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"redcane/internal/caps"
+	"redcane/internal/datasets"
+	"redcane/internal/models"
+	"redcane/internal/noise"
+	"redcane/internal/params"
+	"redcane/internal/tensor"
+	"redcane/internal/train"
+)
+
+// Config controls dataset sizes, training effort and evaluation depth.
+type Config struct {
+	// Dir caches trained weights between runs ("" disables caching).
+	Dir string
+	// Quick shrinks datasets, epochs and evaluation sizes so the whole
+	// suite runs in CI/benchmark time budgets.
+	Quick bool
+	// Seed drives dataset synthesis, weight init and noise.
+	Seed uint64
+	// Log, when non-nil, receives progress lines (training starts,
+	// sweep stages) — useful during the multi-minute full-mode runs.
+	Log io.Writer
+}
+
+// Benchmark is one (architecture, dataset) pair of the paper's Table II.
+type Benchmark struct {
+	Arch    string // "deepcaps" or "capsnet"
+	Dataset string // "cifar-like", "svhn-like", "mnist-like", "fashion-like"
+	// PaperAccuracy is the paper's Table II reference, for reporting.
+	PaperAccuracy float64
+}
+
+// Key is the cache identity of the benchmark.
+func (b Benchmark) Key() string { return b.Arch + "-" + b.Dataset }
+
+// Benchmarks lists the five pairs evaluated in the paper, in Table II
+// order.
+var Benchmarks = []Benchmark{
+	{Arch: "deepcaps", Dataset: "cifar-like", PaperAccuracy: 92.74},
+	{Arch: "deepcaps", Dataset: "svhn-like", PaperAccuracy: 97.56},
+	{Arch: "deepcaps", Dataset: "mnist-like", PaperAccuracy: 99.72},
+	{Arch: "capsnet", Dataset: "fashion-like", PaperAccuracy: 92.88},
+	{Arch: "capsnet", Dataset: "mnist-like", PaperAccuracy: 99.67},
+}
+
+// Trained is a ready-to-analyze benchmark: inference network with trained
+// weights plus its dataset.
+type Trained struct {
+	Benchmark Benchmark
+	Net       *caps.Network
+	Data      *datasets.Dataset
+	TestAcc   float64
+}
+
+// Runner builds and caches trained benchmarks and exposes the experiment
+// generators.
+type Runner struct {
+	Cfg       Config
+	cache     map[string]*Trained
+	fig11Memo *Fig11Result
+}
+
+// NewRunner returns a Runner for the given config.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{Cfg: cfg, cache: map[string]*Trained{}}
+}
+
+// logf emits a progress line when logging is enabled.
+func (r *Runner) logf(format string, args ...any) {
+	if r.Cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(r.Cfg.Log, format+"\n", args...)
+}
+
+func (r *Runner) splitSizes() (trainN, testN int) {
+	if r.Cfg.Quick {
+		return 500, 150
+	}
+	return 1500, 400
+}
+
+func (r *Runner) epochs(arch string) int {
+	if arch == "deepcaps" {
+		if r.Cfg.Quick {
+			return 3
+		}
+		return 4
+	}
+	if r.Cfg.Quick {
+		return 2
+	}
+	return 3
+}
+
+// evalCap bounds how many test samples a resilience sweep point uses.
+func (r *Runner) evalCap() int {
+	if r.Cfg.Quick {
+		return 60
+	}
+	return 200
+}
+
+// threshold is the tolerable accuracy drop used to mark resilience; the
+// quick mode widens it because its small evaluation split quantizes
+// accuracy coarsely.
+func (r *Runner) threshold() float64 {
+	if r.Cfg.Quick {
+		return 0.02
+	}
+	return 0.01
+}
+
+// trials is the number of noise seeds averaged per sweep point.
+func (r *Runner) trials() int {
+	if r.Cfg.Quick {
+		return 1
+	}
+	return 2
+}
+
+func (r *Runner) dataset(name string) (*datasets.Dataset, error) {
+	trainN, testN := r.splitSizes()
+	return datasets.ByName(name, trainN, testN, r.Cfg.Seed+hashString(name))
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (r *Runner) spec(arch string, ds *datasets.Dataset) (models.Spec, error) {
+	shape := []int{ds.Channels, ds.H, ds.W}
+	switch arch {
+	case "deepcaps":
+		return models.DeepCaps(shape, ds.Classes()), nil
+	case "capsnet":
+		return models.CapsNet(shape, ds.Classes()), nil
+	default:
+		return models.Spec{}, fmt.Errorf("experiments: unknown architecture %q", arch)
+	}
+}
+
+// Trained returns the trained benchmark, training it on first use and
+// caching weights in memory and (when Dir is set) on disk.
+func (r *Runner) Trained(b Benchmark) (*Trained, error) {
+	key := b.Key()
+	if t, ok := r.cache[key]; ok {
+		return t, nil
+	}
+	ds, err := r.dataset(b.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := r.spec(b.Arch, ds)
+	if err != nil {
+		return nil, err
+	}
+	net, err := models.BuildInference(spec, r.Cfg.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+
+	mode := "full"
+	if r.Cfg.Quick {
+		mode = "quick"
+	}
+	var cachePath string
+	if r.Cfg.Dir != "" {
+		cachePath = filepath.Join(r.Cfg.Dir, fmt.Sprintf("%s-%s-seed%d.gob", key, mode, r.Cfg.Seed))
+		if store, err := params.Load(cachePath); err == nil {
+			if err := store.LoadInto(net.Params()); err == nil {
+				t := r.finish(b, net, ds)
+				r.cache[key] = t
+				return t, nil
+			}
+		}
+	}
+
+	r.logf("training %s (%d samples, %d epochs)...", key, ds.TrainX.Shape[0], r.epochs(b.Arch))
+	start := time.Now()
+	m, err := models.BuildTrainer(spec, r.Cfg.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	sz := ds.Channels * ds.H * ds.W
+	calibN := 32
+	if calibN > ds.TrainX.Shape[0] {
+		calibN = ds.TrainX.Shape[0]
+	}
+	calib := tensor.NewFrom(ds.TrainX.Data[:calibN*sz], calibN, ds.Channels, ds.H, ds.W)
+	train.LSUVInit(m, calib, 0.5)
+	train.Fit(m, ds, train.Config{
+		Epochs:    r.epochs(b.Arch),
+		BatchSize: 32,
+		LR:        1.5e-3,
+		Seed:      r.Cfg.Seed + 1,
+		GradClip:  5,
+	})
+	store := params.FromParams(m.ParamMap())
+	if err := store.LoadInto(net.Params()); err != nil {
+		return nil, err
+	}
+	if cachePath != "" {
+		if err := os.MkdirAll(r.Cfg.Dir, 0o755); err == nil {
+			_ = store.Save(cachePath) // cache write failures are non-fatal
+		}
+	}
+	t := r.finish(b, net, ds)
+	r.logf("trained %s in %s: test accuracy %.2f%%", key, time.Since(start).Round(time.Second), 100*t.TestAcc)
+	r.cache[key] = t
+	return t, nil
+}
+
+func (r *Runner) finish(b Benchmark, net *caps.Network, ds *datasets.Dataset) *Trained {
+	acc := caps.Accuracy(net, ds.TestX, ds.TestY, noise.None{}, 32)
+	return &Trained{Benchmark: b, Net: net, Data: ds, TestAcc: acc}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"redcane/internal/caps"
+	"redcane/internal/core"
+	"redcane/internal/noise"
+)
+
+// SelectionRow is one design point of the selection-strategy comparison.
+type SelectionRow struct {
+	Design string
+	// Accuracy is the validated accuracy with all sites injected.
+	Accuracy float64
+	// MulSaving is the multiplier-energy saving of the design.
+	MulSaving float64
+}
+
+// SelectionResult compares ReD-CaNe's heterogeneous per-operation
+// component selection against uniform designs that deploy one library
+// component everywhere — the homogeneous baselines implicit in prior CNN
+// work (e.g. ALWANN-style single-component substitution). The methodology
+// earns its keep if its design dominates the uniform frontier: more
+// saving at equal accuracy, or more accuracy at equal saving.
+type SelectionResult struct {
+	Benchmark Benchmark
+	Clean     float64
+	ReDCaNe   SelectionRow
+	Uniform   []SelectionRow
+}
+
+// AblationSelectionStrategy evaluates the frontier on one benchmark.
+func (r *Runner) AblationSelectionStrategy(b Benchmark) (*SelectionResult, error) {
+	t, err := r.Trained(b)
+	if err != nil {
+		return nil, err
+	}
+	design, err := r.Design(b)
+	if err != nil {
+		return nil, err
+	}
+	x, y := capEval(t, r.evalCap())
+	clean := caps.Accuracy(t.Net, x, y, noise.None{}, 32)
+
+	out := &SelectionResult{
+		Benchmark: b,
+		Clean:     clean,
+		ReDCaNe: SelectionRow{
+			Design:    "red-cane (heterogeneous)",
+			Accuracy:  design.Report.ValidatedAccuracy,
+			MulSaving: design.Report.MulEnergySaving,
+		},
+	}
+
+	// Uniform designs: every site carries one component's noise.
+	sites := t.Net.Sites()
+	mulOps := t.Net.OpsByLayer(1)
+	var totalMul float64
+	for _, c := range mulOps {
+		totalMul += c.Mul
+	}
+	for _, p := range design.Profiles() {
+		params := map[noise.Site]noise.Params{}
+		for _, s := range sites {
+			params[s] = noise.Params{NM: p.NM, NA: 0}
+		}
+		inj := noise.NewPerSite(params, r.Cfg.Seed+71)
+		acc := caps.Accuracy(t.Net, x, y, inj, 32)
+		out.Uniform = append(out.Uniform, SelectionRow{
+			Design:    "uniform " + p.Component.Name,
+			Accuracy:  acc,
+			MulSaving: p.Component.PowerReduction(),
+		})
+	}
+	return out, nil
+}
+
+// Profiles exposes the component profiles a design was built from.
+func (d *DesignResult) Profiles() []core.ComponentProfile { return d.profiles }
+
+// Render formats the frontier comparison.
+func (s *SelectionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — selection strategy frontier (%s on %s, clean %.2f%%)\n",
+		s.Benchmark.Arch, s.Benchmark.Dataset, 100*s.Clean)
+	fmt.Fprintf(&b, "%-28s %12s %14s\n", "design", "accuracy", "mul saving")
+	row := func(r SelectionRow) {
+		fmt.Fprintf(&b, "%-28s %11.2f%% %13.1f%%\n", r.Design, 100*r.Accuracy, 100*r.MulSaving)
+	}
+	row(s.ReDCaNe)
+	for _, u := range s.Uniform {
+		row(u)
+	}
+	return b.String()
+}
+
+// Dominates reports whether the ReD-CaNe design beats every uniform
+// design that achieves at least the same accuracy minus the tolerance.
+func (s *SelectionResult) Dominates(tolerance float64) bool {
+	for _, u := range s.Uniform {
+		if u.Accuracy >= s.ReDCaNe.Accuracy-tolerance && u.MulSaving > s.ReDCaNe.MulSaving {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+// Package fixed implements the b-bit fixed-point quantization used to map
+// floating-point CapsNet tensors onto the integer datapath of an
+// approximate hardware accelerator.
+//
+// It implements Eq. 1 of the ReD-CaNe paper:
+//
+//	Q(x) = (x - min(x)) / (max(x) - min(x)) · (2^b - 1)
+//
+// i.e. affine (asymmetric) quantization of a float range onto [0, 2^b-1],
+// together with the inverse mapping and a calibrated per-tensor Quantizer.
+// The paper (and the CapsAcc accelerator it targets) uses b = 8.
+package fixed
+
+import (
+	"fmt"
+	"math"
+
+	"redcane/internal/tensor"
+)
+
+// DefaultBits is the wordlength the paper uses throughout: 8-bit operands,
+// shown to be accurate enough for the CapsNet computational path.
+const DefaultBits = 8
+
+// Quantizer maps floats in [Min, Max] onto b-bit unsigned codes.
+// The zero value is unusable; build one with NewQuantizer or Calibrate.
+type Quantizer struct {
+	Min, Max float64
+	Bits     uint
+}
+
+// NewQuantizer returns a quantizer for the given float range and wordlength.
+// It panics if the range is empty or bits is not in [1, 16].
+func NewQuantizer(min, max float64, bits uint) Quantizer {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("fixed: unsupported wordlength %d", bits))
+	}
+	if !(max > min) {
+		panic(fmt.Sprintf("fixed: empty quantization range [%g, %g]", min, max))
+	}
+	return Quantizer{Min: min, Max: max, Bits: bits}
+}
+
+// Calibrate builds a quantizer covering the observed range of t.
+// Degenerate (constant) tensors get an epsilon-wide range so the mapping
+// stays well-defined.
+func Calibrate(t *tensor.Tensor, bits uint) Quantizer {
+	lo, hi := t.MinMax()
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	return NewQuantizer(lo, hi, bits)
+}
+
+// Levels returns the number of representable codes, 2^Bits.
+func (q Quantizer) Levels() int { return 1 << q.Bits }
+
+// Step returns the float width of one quantization level.
+func (q Quantizer) Step() float64 {
+	return (q.Max - q.Min) / float64(q.Levels()-1)
+}
+
+// Quantize maps x to its nearest b-bit code, clamping to the range.
+func (q Quantizer) Quantize(x float64) uint16 {
+	maxCode := float64(q.Levels() - 1)
+	v := (x - q.Min) / (q.Max - q.Min) * maxCode
+	v = math.Round(v)
+	if v < 0 {
+		v = 0
+	}
+	if v > maxCode {
+		v = maxCode
+	}
+	return uint16(v)
+}
+
+// Dequantize maps a code back to the center of its float level.
+func (q Quantizer) Dequantize(code uint16) float64 {
+	return q.Min + float64(code)*q.Step()
+}
+
+// RoundTripError returns |x - Dequantize(Quantize(x))| for an in-range x.
+// It is bounded by Step()/2 for x within [Min, Max].
+func (q Quantizer) RoundTripError(x float64) float64 {
+	return math.Abs(x - q.Dequantize(q.Quantize(x)))
+}
+
+// QTensor is a quantized tensor: b-bit codes plus the quantizer that
+// produced them. It is the operand format of the approximate execution
+// engine (internal/axe).
+type QTensor struct {
+	Shape []int
+	Codes []uint16
+	Q     Quantizer
+}
+
+// QuantizeTensor quantizes every element of t under q.
+func QuantizeTensor(t *tensor.Tensor, q Quantizer) *QTensor {
+	codes := make([]uint16, t.Len())
+	for i, v := range t.Data {
+		codes[i] = q.Quantize(v)
+	}
+	return &QTensor{Shape: append([]int(nil), t.Shape...), Codes: codes, Q: q}
+}
+
+// Dequantize reconstructs the float tensor from the codes.
+func (qt *QTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(qt.Shape...)
+	for i, c := range qt.Codes {
+		out.Data[i] = qt.Q.Dequantize(c)
+	}
+	return out
+}
+
+// QuantizationNoise returns the elementwise error introduced by one
+// quantize/dequantize round trip of t under a freshly calibrated b-bit
+// quantizer. This is the "software approximation" error source of
+// Sec. II-C, useful as a baseline against approximate-component noise.
+func QuantizationNoise(t *tensor.Tensor, bits uint) *tensor.Tensor {
+	q := Calibrate(t, bits)
+	rt := QuantizeTensor(t, q).Dequantize()
+	return tensor.Sub(rt, t)
+}

@@ -1,0 +1,134 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redcane/internal/tensor"
+)
+
+func TestQuantizeEndpoints(t *testing.T) {
+	q := NewQuantizer(-1, 1, 8)
+	if q.Quantize(-1) != 0 {
+		t.Fatalf("Quantize(min) = %d", q.Quantize(-1))
+	}
+	if q.Quantize(1) != 255 {
+		t.Fatalf("Quantize(max) = %d", q.Quantize(1))
+	}
+	if q.Levels() != 256 {
+		t.Fatalf("Levels = %d", q.Levels())
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	q := NewQuantizer(0, 10, 8)
+	if q.Quantize(-5) != 0 || q.Quantize(100) != 255 {
+		t.Fatal("out-of-range values must clamp")
+	}
+}
+
+func TestDequantizeInverse(t *testing.T) {
+	q := NewQuantizer(-2, 2, 8)
+	for code := 0; code < q.Levels(); code += 17 {
+		c := uint16(code)
+		if got := q.Quantize(q.Dequantize(c)); got != c {
+			t.Fatalf("Quantize(Dequantize(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	q := NewQuantizer(-3, 5, 8)
+	half := q.Step()/2 + 1e-12
+	f := func(raw float64) bool {
+		x := math.Mod(raw, 8)
+		if math.IsNaN(x) {
+			x = 0
+		}
+		x = -3 + math.Abs(x) // in [-3, 5]
+		return q.RoundTripError(x) <= half
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreBitsLessError(t *testing.T) {
+	x := tensor.New(1000).FillUniform(tensor.NewRNG(1), -1, 1)
+	var prev float64 = math.Inf(1)
+	for _, bits := range []uint{4, 6, 8, 10} {
+		noise := QuantizationNoise(x, bits)
+		var maxErr float64
+		for _, v := range noise.Data {
+			if a := math.Abs(v); a > maxErr {
+				maxErr = a
+			}
+		}
+		if maxErr >= prev {
+			t.Fatalf("quantization error did not shrink at %d bits: %g >= %g", bits, maxErr, prev)
+		}
+		prev = maxErr
+	}
+}
+
+func TestCalibrateDegenerate(t *testing.T) {
+	x := tensor.New(4).Fill(3)
+	q := Calibrate(x, 8)
+	if !(q.Max > q.Min) {
+		t.Fatal("degenerate calibration must widen range")
+	}
+	if q.Quantize(3) != 0 {
+		t.Fatalf("constant input should map to code 0, got %d", q.Quantize(3))
+	}
+}
+
+func TestQuantizeTensorRoundTrip(t *testing.T) {
+	x := tensor.New(2, 3).FillUniform(tensor.NewRNG(2), -4, 4)
+	q := Calibrate(x, 8)
+	qt := QuantizeTensor(x, q)
+	if len(qt.Codes) != 6 || qt.Shape[0] != 2 {
+		t.Fatalf("QTensor shape/codes wrong: %v %d", qt.Shape, len(qt.Codes))
+	}
+	back := qt.Dequantize()
+	for i := range x.Data {
+		if math.Abs(back.Data[i]-x.Data[i]) > q.Step()/2+1e-12 {
+			t.Fatalf("round-trip error too large at %d: %g vs %g", i, back.Data[i], x.Data[i])
+		}
+	}
+}
+
+func TestNewQuantizerValidation(t *testing.T) {
+	for _, tc := range []struct {
+		min, max float64
+		bits     uint
+	}{
+		{0, 0, 8},  // empty range
+		{1, -1, 8}, // inverted range
+		{0, 1, 0},  // zero bits
+		{0, 1, 17}, // too wide
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", tc)
+				}
+			}()
+			NewQuantizer(tc.min, tc.max, tc.bits)
+		}()
+	}
+}
+
+func TestQuantizationNoiseZeroMeanish(t *testing.T) {
+	x := tensor.New(100000).FillUniform(tensor.NewRNG(3), 0, 1)
+	noise := QuantizationNoise(x, 8)
+	if m := math.Abs(noise.Mean()); m > 1e-4 {
+		t.Fatalf("quantization noise mean = %g, want ~0", m)
+	}
+	// Uniform quantization noise std ~ step/sqrt(12).
+	step := 1.0 / 255.0
+	want := step / math.Sqrt(12)
+	if got := noise.Std(); math.Abs(got-want) > 0.2*want {
+		t.Fatalf("noise std = %g, want ~%g", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+package noise
+
+import (
+	"math/rand/v2"
+
+	"redcane/internal/tensor"
+)
+
+// This file extends the injection framework beyond the paper's
+// approximation-noise model to the other error sources its Sec. II-C
+// enumerates: transient faults (bit flips from particle strikes) and
+// permanent faults (stuck-at-zero / stuck-at-one). Both act on the
+// tensor's 8-bit fixed-point representation, mirroring how such faults
+// manifest in an accelerator datapath, and plug into the same Site/Filter
+// machinery as the Gaussian injector.
+
+// BitFlip injects transient faults: each element independently suffers a
+// random single-bit flip in its b-bit code with probability Prob.
+// Deterministic per seed; not safe for concurrent use.
+type BitFlip struct {
+	// Prob is the per-element flip probability.
+	Prob float64
+	// Bits is the word length (default 8 when zero).
+	Bits   uint
+	filter Filter
+	rng    *rand.Rand
+}
+
+// NewBitFlip builds a transient-fault injector on the filtered sites.
+func NewBitFlip(prob float64, bits uint, filter Filter, seed uint64) *BitFlip {
+	if filter == nil {
+		filter = All()
+	}
+	if bits == 0 {
+		bits = 8
+	}
+	return &BitFlip{Prob: prob, Bits: bits, filter: filter, rng: tensor.NewRNG(seed)}
+}
+
+// Inject implements Injector.
+func (f *BitFlip) Inject(site Site, x *tensor.Tensor) *tensor.Tensor {
+	if !f.filter(site) || f.Prob <= 0 {
+		return x
+	}
+	lo, hi := x.MinMax()
+	if hi <= lo {
+		return x
+	}
+	levels := float64(uint32(1)<<f.Bits - 1)
+	step := (hi - lo) / levels
+	for i, v := range x.Data {
+		if f.rng.Float64() >= f.Prob {
+			continue
+		}
+		code := uint32((v - lo) / step)
+		if code > uint32(levels) {
+			code = uint32(levels)
+		}
+		code ^= 1 << uint(f.rng.IntN(int(f.Bits)))
+		x.Data[i] = lo + float64(code)*step
+	}
+	return x
+}
+
+// StuckAt injects permanent faults: a fixed fraction of each tensor's
+// elements (chosen deterministically per site, so the same "hardware
+// cells" fail on every inference) reads back as the minimum
+// (stuck-at-zero) or maximum (stuck-at-one) representable value.
+type StuckAt struct {
+	// Fraction of elements stuck.
+	Fraction float64
+	// One selects stuck-at-one (max code) instead of stuck-at-zero.
+	One    bool
+	filter Filter
+	seed   uint64
+}
+
+// NewStuckAt builds a permanent-fault injector.
+func NewStuckAt(fraction float64, one bool, filter Filter, seed uint64) *StuckAt {
+	if filter == nil {
+		filter = All()
+	}
+	return &StuckAt{Fraction: fraction, One: one, filter: filter, seed: seed}
+}
+
+// Inject implements Injector. Fault positions depend only on (site, seed),
+// not on call order, modeling defective cells at fixed addresses.
+func (f *StuckAt) Inject(site Site, x *tensor.Tensor) *tensor.Tensor {
+	if !f.filter(site) || f.Fraction <= 0 {
+		return x
+	}
+	lo, hi := x.MinMax()
+	stuck := lo
+	if f.One {
+		stuck = hi
+	}
+	rng := tensor.NewRNG(f.seed ^ siteHash(site))
+	for i := range x.Data {
+		if rng.Float64() < f.Fraction {
+			x.Data[i] = stuck
+		}
+	}
+	return x
+}
+
+// siteHash folds a site into a 64-bit seed component (FNV-1a).
+func siteHash(s Site) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range []byte(s.Layer) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(s.Group)
+	h *= 1099511628211
+	return h
+}

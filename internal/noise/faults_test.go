@@ -1,0 +1,198 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"redcane/internal/tensor"
+)
+
+func TestBitFlipProbabilityZeroIsIdentity(t *testing.T) {
+	x := tensor.New(100).FillUniform(tensor.NewRNG(1), 0, 1)
+	before := x.Clone()
+	NewBitFlip(0, 8, All(), 2).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	for i := range x.Data {
+		if x.Data[i] != before.Data[i] {
+			t.Fatal("zero-probability bit flips must not change anything")
+		}
+	}
+}
+
+func TestBitFlipRateMatchesProbability(t *testing.T) {
+	x := tensor.New(100000).FillUniform(tensor.NewRNG(3), 0, 1)
+	before := x.Clone()
+	NewBitFlip(0.1, 8, All(), 4).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	changed := 0
+	for i := range x.Data {
+		if x.Data[i] != before.Data[i] {
+			changed++
+		}
+	}
+	rate := float64(changed) / float64(len(x.Data))
+	// Some flips are invisible (code unchanged after re-quantization is
+	// impossible here since we flip a bit, but values can collide at the
+	// clamp); allow a generous band around 10 %.
+	if rate < 0.07 || rate > 0.12 {
+		t.Fatalf("flip rate = %g, want ≈0.1", rate)
+	}
+}
+
+func TestBitFlipValuesStayRepresentable(t *testing.T) {
+	x := tensor.New(10000).FillUniform(tensor.NewRNG(5), -2, 2)
+	lo, hi := x.MinMax()
+	NewBitFlip(1.0, 8, All(), 6).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	nlo, nhi := x.MinMax()
+	// A flipped 8-bit code stays within one step of the original range.
+	step := (hi - lo) / 255
+	if nlo < lo-step || nhi > hi+step {
+		t.Fatalf("flipped values escape range: [%g, %g] vs [%g, %g]", nlo, nhi, lo, hi)
+	}
+}
+
+func TestBitFlipRespectsFilter(t *testing.T) {
+	x := tensor.New(100).FillUniform(tensor.NewRNG(7), 0, 1)
+	before := x.Clone()
+	NewBitFlip(1, 8, ForGroup(Softmax), 8).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	for i := range x.Data {
+		if x.Data[i] != before.Data[i] {
+			t.Fatal("filtered site must be untouched")
+		}
+	}
+}
+
+func TestStuckAtZeroPinsToMin(t *testing.T) {
+	x := tensor.New(10000).FillUniform(tensor.NewRNG(9), -1, 3)
+	lo, _ := x.MinMax()
+	NewStuckAt(0.2, false, All(), 10).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	stuck := 0
+	for _, v := range x.Data {
+		if v == lo {
+			stuck++
+		}
+	}
+	if rate := float64(stuck) / float64(len(x.Data)); rate < 0.15 || rate > 0.25 {
+		t.Fatalf("stuck rate = %g, want ≈0.2", rate)
+	}
+}
+
+func TestStuckAtOnePinsToMax(t *testing.T) {
+	x := tensor.New(1000).FillUniform(tensor.NewRNG(11), 0, 1)
+	_, hi := x.MinMax()
+	NewStuckAt(0.5, true, All(), 12).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	found := false
+	for _, v := range x.Data {
+		if v == hi {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no elements stuck at max")
+	}
+}
+
+func TestStuckAtDeterministicPerSite(t *testing.T) {
+	// Same site → same fault positions across calls (permanent fault).
+	mk := func() []float64 {
+		x := tensor.New(200).FillUniform(tensor.NewRNG(13), 0, 1)
+		NewStuckAt(0.3, false, All(), 14).Inject(Site{Layer: "A", Group: MACOutputs}, x)
+		return x.Data
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("permanent faults must hit identical positions per site")
+		}
+	}
+	// Different site → different positions.
+	x := tensor.New(200).FillUniform(tensor.NewRNG(13), 0, 1)
+	NewStuckAt(0.3, false, All(), 14).Inject(Site{Layer: "B", Group: MACOutputs}, x)
+	same := true
+	for i := range a {
+		if a[i] != x.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different sites should have different fault maps")
+	}
+}
+
+func TestFaultInjectorsConstantTensor(t *testing.T) {
+	x := tensor.New(10).Fill(2)
+	NewBitFlip(1, 8, All(), 15).Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	for _, v := range x.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN from constant-tensor bit flip")
+		}
+	}
+}
+
+func TestFaultConstructorDefaults(t *testing.T) {
+	// nil filter → all sites; zero bits → 8.
+	bf := NewBitFlip(1, 0, nil, 1)
+	if bf.Bits != 8 {
+		t.Fatalf("default bits = %d", bf.Bits)
+	}
+	x := tensor.New(64).FillUniform(tensor.NewRNG(20), 0, 1)
+	before := x.Clone()
+	bf.Inject(Site{Layer: "L", Group: Activations}, x)
+	changed := false
+	for i := range x.Data {
+		if x.Data[i] != before.Data[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("nil filter must mean all sites")
+	}
+
+	sa := NewStuckAt(0.5, false, nil, 2)
+	y := tensor.New(64).FillUniform(tensor.NewRNG(21), 0, 1)
+	beforeY := y.Clone()
+	sa.Inject(Site{Layer: "L", Group: Activations}, y)
+	changed = false
+	for i := range y.Data {
+		if y.Data[i] != beforeY.Data[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("stuck-at with nil filter must apply")
+	}
+	// Zero fraction: no-op.
+	z := tensor.New(8).Fill(1)
+	z.Data[0] = 0
+	NewStuckAt(0, false, nil, 3).Inject(Site{Layer: "L", Group: Activations}, z)
+	if z.Data[1] != 1 {
+		t.Fatal("zero-fraction stuck-at modified data")
+	}
+}
+
+func TestPerSiteInjectorInNoisePackage(t *testing.T) {
+	inj := NewPerSite(map[Site]Params{
+		{Layer: "A", Group: MACOutputs}: {NM: 0.2, NA: 0.1},
+	}, 5)
+	x := tensor.New(10000).FillUniform(tensor.NewRNG(6), 0, 1)
+	before := x.Clone()
+	inj.Inject(Site{Layer: "A", Group: MACOutputs}, x)
+	delta := tensor.Sub(x, before)
+	r := before.Range()
+	if m := delta.Mean(); m < 0.05*r || m > 0.15*r {
+		t.Fatalf("per-site NA not applied: mean delta %g", m)
+	}
+	if s := delta.Std(); s < 0.15*r || s > 0.25*r {
+		t.Fatalf("per-site NM not applied: std delta %g", s)
+	}
+	// Zero-params entry behaves as accurate.
+	inj2 := NewPerSite(map[Site]Params{{Layer: "B", Group: Softmax}: {}}, 5)
+	y := tensor.New(5).Fill(2)
+	y.Data[0] = 0
+	beforeY := y.Clone()
+	inj2.Inject(Site{Layer: "B", Group: Softmax}, y)
+	for i := range y.Data {
+		if y.Data[i] != beforeY.Data[i] {
+			t.Fatal("zero params must be a no-op")
+		}
+	}
+}

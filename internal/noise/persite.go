@@ -1,0 +1,38 @@
+package noise
+
+import "redcane/internal/tensor"
+
+// Params is a per-site noise configuration.
+type Params struct {
+	NM, NA float64
+}
+
+// PerSite injects site-specific Gaussian noise: every site carries the
+// NM/NA of the approximate component selected for it by the ReD-CaNe
+// methodology's Step 6, so a full approximate-CapsNet design can be
+// validated in one forward pass. Deterministic for a fixed seed and
+// injection order; not safe for concurrent use.
+type PerSite struct {
+	params map[Site]Params
+	rng    interface{ NormFloat64() float64 }
+}
+
+// NewPerSite builds the injector; sites absent from params are accurate.
+func NewPerSite(params map[Site]Params, seed uint64) *PerSite {
+	return &PerSite{params: params, rng: tensor.NewRNG(seed)}
+}
+
+// Inject applies the site's configured noise in place.
+func (p *PerSite) Inject(site Site, x *tensor.Tensor) *tensor.Tensor {
+	cfg, ok := p.params[site]
+	if !ok || (cfg.NM == 0 && cfg.NA == 0) {
+		return x
+	}
+	r := x.Range()
+	std := cfg.NM * r
+	mean := cfg.NA * r
+	for i := range x.Data {
+		x.Data[i] += mean + std*p.rng.NormFloat64()
+	}
+	return x
+}

@@ -1,0 +1,136 @@
+// Package plot renders small ASCII line charts for the resilience sweep
+// figures (Fig. 9/10/12): multiple named series over a shared x-grid,
+// drawn into a fixed-size character canvas. Pure text, suitable for
+// terminals and EXPERIMENTS.md.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a text line chart over a shared categorical x-axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	// XTicks are the x-axis labels (one per point).
+	XTicks []string
+	Series []Series
+	// Height is the plot body height in rows (default 12).
+	Height int
+	// Width is the plot body width in columns (default 4 per point).
+	Width int
+}
+
+// markers assigns one rune per series, cycling when exhausted.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	if len(c.Series) == 0 || len(c.Series[0].Values) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	h := c.Height
+	if h <= 0 {
+		h = 12
+	}
+	n := len(c.Series[0].Values)
+	w := c.Width
+	if w <= 0 {
+		w = 4 * n
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	col := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (w - 1) / (n - 1)
+	}
+	row := func(v float64) int {
+		r := int(math.Round((hi - v) / (hi - lo) * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		prevR, prevC := -1, -1
+		for i, v := range s.Values {
+			r, cc := row(v), col(i)
+			// Sparse vertical interpolation between consecutive points.
+			if prevC >= 0 {
+				steps := cc - prevC
+				for step := 1; step < steps; step++ {
+					ir := prevR + (r-prevR)*step/steps
+					ic := prevC + step
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][cc] = m
+			prevR, prevC = r, cc
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, line := range grid {
+		y := hi - (hi-lo)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%9.2f |%s|\n", y, string(line))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", w))
+	// X tick line: place tick labels at their columns (best effort).
+	if len(c.XTicks) == n {
+		tick := []rune(strings.Repeat(" ", w+12))
+		for i, t := range c.XTicks {
+			start := col(i) + 11
+			for j, r := range t {
+				if start+j < len(tick) {
+					tick[start+j] = r
+				}
+			}
+		}
+		b.WriteString(strings.TrimRight(string(tick), " ") + "\n")
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%9s  x: %s\n", "", c.XLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%9s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "NM",
+		XTicks: []string{"0.5", "0.1", "0"},
+		Series: []Series{
+			{Name: "a", Values: []float64{-80, -10, 0}},
+			{Name: "b", Values: []float64{-5, -1, 0}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "* a", "o b", "x: NM", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The worst value of series a must appear at the bottom row region.
+	lines := strings.Split(out, "\n")
+	var bottomPlotLine string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			bottomPlotLine = l
+		}
+	}
+	if !strings.Contains(bottomPlotLine, "*") {
+		t.Fatalf("series a minimum not at chart bottom:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", Values: []float64{1, 1, 1}}}}
+	out := c.Render()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("constant series render broken:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "p", Values: []float64{3}}}, XTicks: []string{"x"}}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("single point missing:\n%s", out)
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 10; i++ {
+		ss = append(ss, Series{Name: "s", Values: []float64{float64(i), float64(-i)}})
+	}
+	c := &Chart{Series: ss}
+	if out := c.Render(); !strings.Contains(out, "@") {
+		t.Fatalf("marker cycling broken:\n%s", out)
+	}
+}

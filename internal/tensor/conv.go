@@ -1,0 +1,177 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2D convolution: kernel size, stride and symmetric
+// zero padding. Tensors use NCHW layout.
+type ConvSpec struct {
+	KH, KW   int // kernel height and width
+	Stride   int // same stride for both spatial dims
+	Pad      int // symmetric zero padding
+	OutCh    int // number of output channels
+	InCh     int // number of input channels (must match the input tensor)
+	UseGroup int // reserved: 1 means ungrouped; only 1 is supported
+}
+
+// OutSize returns the spatial output size for an input of size h×w.
+func (c ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow = (w+2*c.Pad-c.KW)/c.Stride + 1
+	return oh, ow
+}
+
+// Im2Col unfolds x (shape [N, C, H, W]) into a matrix of shape
+// [N*OH*OW, C*KH*KW] so that convolution becomes a matrix product with the
+// flattened kernel. Out-of-bounds (padding) positions contribute zeros.
+func Im2Col(x *Tensor, spec ConvSpec) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != spec.InCh {
+		panic(fmt.Sprintf("tensor: Im2Col input channels %d != spec.InCh %d", c, spec.InCh))
+	}
+	oh, ow := spec.OutSize(h, w)
+	cols := New(n*oh*ow, c*spec.KH*spec.KW)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.Data[row*cols.Shape[1]:]
+				k := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := oy*spec.Stride + ky - spec.Pad
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ox*spec.Stride + kx - spec.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[k] = x.Data[chBase+iy*w+ix]
+							} else {
+								dst[k] = 0
+							}
+							k++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a column matrix (as produced by Im2Col, shape
+// [N*OH*OW, C*KH*KW]) back into an [N, C, H, W] tensor, accumulating
+// overlapping contributions. It is the adjoint of Im2Col and is used for
+// convolution input gradients.
+func Col2Im(cols *Tensor, n, c, h, w int, spec ConvSpec) *Tensor {
+	oh, ow := spec.OutSize(h, w)
+	if cols.Shape[0] != n*oh*ow || cols.Shape[1] != c*spec.KH*spec.KW {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with n=%d c=%d h=%d w=%d spec=%+v", cols.Shape, n, c, h, w, spec))
+	}
+	x := New(n, c, h, w)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.Data[row*cols.Shape[1]:]
+				k := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := oy*spec.Stride + ky - spec.Pad
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ox*spec.Stride + kx - spec.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.Data[chBase+iy*w+ix] += src[k]
+							}
+							k++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return x
+}
+
+// Conv2D computes a standard 2D convolution (really cross-correlation, as in
+// every DL framework) of x [N, InCh, H, W] with kernel w
+// [OutCh, InCh, KH, KW] plus bias b [OutCh] (nil for no bias).
+// The result has shape [N, OutCh, OH, OW].
+func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
+	spec := ConvSpec{
+		KH: w.Shape[2], KW: w.Shape[3],
+		Stride: stride, Pad: pad,
+		OutCh: w.Shape[0], InCh: w.Shape[1],
+	}
+	n, h, wd := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := spec.OutSize(h, wd)
+	cols := Im2Col(x, spec)
+	// cols: [N*OH*OW, InCh*KH*KW]; kernel matrix: [OutCh, InCh*KH*KW]
+	kmat := w.Reshape(spec.OutCh, spec.InCh*spec.KH*spec.KW)
+	// out rows are per spatial position; produce [N*OH*OW, OutCh] then permute.
+	prod := MatMulT(cols, kmat) // [N*OH*OW, OutCh]
+	out := New(n, spec.OutCh, oh, ow)
+	rows := oh * ow
+	for bIdx := 0; bIdx < n; bIdx++ {
+		for p := 0; p < rows; p++ {
+			src := prod.Data[(bIdx*rows+p)*spec.OutCh:]
+			for oc := 0; oc < spec.OutCh; oc++ {
+				v := src[oc]
+				if b != nil {
+					v += b.Data[oc]
+				}
+				out.Data[((bIdx*spec.OutCh+oc)*rows)+p] = v
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes gradients of a Conv2D with respect to its input,
+// kernel and bias, given the upstream gradient gy [N, OutCh, OH, OW].
+// Any of the returned gradients the caller does not need can be ignored.
+func Conv2DBackward(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) {
+	spec := ConvSpec{
+		KH: w.Shape[2], KW: w.Shape[3],
+		Stride: stride, Pad: pad,
+		OutCh: w.Shape[0], InCh: w.Shape[1],
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := spec.OutSize(h, wd)
+	rows := oh * ow
+
+	// Rearrange gy from [N, OutCh, OH, OW] to [N*OH*OW, OutCh].
+	gyMat := New(n*rows, spec.OutCh)
+	for bIdx := 0; bIdx < n; bIdx++ {
+		for oc := 0; oc < spec.OutCh; oc++ {
+			src := gy.Data[(bIdx*spec.OutCh+oc)*rows:]
+			for p := 0; p < rows; p++ {
+				gyMat.Data[(bIdx*rows+p)*spec.OutCh+oc] = src[p]
+			}
+		}
+	}
+
+	cols := Im2Col(x, spec) // [N*OH*OW, InCh*KH*KW]
+
+	// gw = gyMat^T · cols  -> [OutCh, InCh*KH*KW]
+	gwMat := MatMulAT(gyMat, cols)
+	gw = gwMat.Reshape(spec.OutCh, spec.InCh, spec.KH, spec.KW)
+
+	// gb = column sums of gyMat.
+	gb = New(spec.OutCh)
+	for r := 0; r < gyMat.Shape[0]; r++ {
+		src := gyMat.Data[r*spec.OutCh:]
+		for oc := 0; oc < spec.OutCh; oc++ {
+			gb.Data[oc] += src[oc]
+		}
+	}
+
+	// gcols = gyMat · kmat -> [N*OH*OW, InCh*KH*KW]; then fold back.
+	kmat := w.Reshape(spec.OutCh, spec.InCh*spec.KH*spec.KW)
+	gcols := MatMul(gyMat, kmat)
+	gx = Col2Im(gcols, n, c, h, wd, spec)
+	return gx, gw, gb
+}

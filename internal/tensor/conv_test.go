@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveConv2D is an independent direct-loop implementation used as the
+// reference oracle for the im2col fast path.
+func naiveConv2D(x, w, b *Tensor, stride, pad int) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oc, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (wd+2*pad-kw)/stride + 1
+	out := New(n, oc, oh, ow)
+	for bi := 0; bi < n; bi++ {
+		for o := 0; o < oc; o++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ci := 0; ci < c; ci++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy := oy*stride + ky - pad
+								ix := ox*stride + kx - pad
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								s += x.At(bi, ci, iy, ix) * w.At(o, ci, ky, kx)
+							}
+						}
+					}
+					if b != nil {
+						s += b.Data[o]
+					}
+					out.Set(s, bi, o, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(seed uint64, shape ...int) *Tensor {
+	return New(shape...).FillNormal(NewRNG(seed), 0, 1)
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	cases := []struct {
+		n, c, h, w, oc, k, stride, pad int
+	}{
+		{1, 1, 5, 5, 1, 3, 1, 0},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 2, 9, 9, 3, 9, 1, 0},
+		{2, 4, 8, 8, 6, 3, 2, 1},
+		{1, 1, 4, 4, 2, 1, 1, 0},
+		{3, 2, 7, 5, 2, 3, 2, 1},
+	}
+	for i, tc := range cases {
+		x := randTensor(uint64(i+1), tc.n, tc.c, tc.h, tc.w)
+		w := randTensor(uint64(i+100), tc.oc, tc.c, tc.k, tc.k)
+		b := randTensor(uint64(i+200), tc.oc)
+		fast := Conv2D(x, w, b, tc.stride, tc.pad)
+		ref := naiveConv2D(x, w, b, tc.stride, tc.pad)
+		if !fast.SameShape(ref) {
+			t.Fatalf("case %d: shape %v vs %v", i, fast.Shape, ref.Shape)
+		}
+		for j := range fast.Data {
+			if !almostEqual(fast.Data[j], ref.Data[j], 1e-9) {
+				t.Fatalf("case %d: element %d = %g, want %g", i, j, fast.Data[j], ref.Data[j])
+			}
+		}
+	}
+}
+
+func TestConv2DNilBias(t *testing.T) {
+	x := randTensor(1, 1, 1, 4, 4)
+	w := randTensor(2, 2, 1, 3, 3)
+	got := Conv2D(x, w, nil, 1, 0)
+	ref := naiveConv2D(x, w, nil, 1, 0)
+	for j := range got.Data {
+		if !almostEqual(got.Data[j], ref.Data[j], 1e-9) {
+			t.Fatalf("element %d = %g, want %g", j, got.Data[j], ref.Data[j])
+		}
+	}
+}
+
+func TestConvSpecOutSize(t *testing.T) {
+	spec := ConvSpec{KH: 3, KW: 3, Stride: 2, Pad: 1}
+	oh, ow := spec.OutSize(8, 8)
+	if oh != 4 || ow != 4 {
+		t.Fatalf("OutSize = %d,%d want 4,4", oh, ow)
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for all x, y — the defining property
+	// of an adjoint pair, which is exactly what conv backward relies on.
+	spec := ConvSpec{KH: 3, KW: 3, Stride: 2, Pad: 1, InCh: 2, OutCh: 1}
+	n, c, h, w := 2, 2, 6, 6
+	x := randTensor(11, n, c, h, w)
+	cols := Im2Col(x, spec)
+	y := randTensor(12, cols.Shape[0], cols.Shape[1])
+	lhs := Mul(cols, y).Sum()
+	back := Col2Im(y, n, c, h, w, spec)
+	rhs := Mul(x, back).Sum()
+	if !almostEqual(lhs, rhs, 1e-6*(1+math.Abs(lhs))) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+// numericGrad estimates d out.Sum()/d in[i] by central differences.
+func numericGradConv(x, w, b *Tensor, stride, pad int, target *Tensor, weight *Tensor) []float64 {
+	const eps = 1e-5
+	grads := make([]float64, target.Len())
+	for i := range target.Data {
+		orig := target.Data[i]
+		target.Data[i] = orig + eps
+		plus := Mul(Conv2D(x, w, b, stride, pad), weight).Sum()
+		target.Data[i] = orig - eps
+		minus := Mul(Conv2D(x, w, b, stride, pad), weight).Sum()
+		target.Data[i] = orig
+		grads[i] = (plus - minus) / (2 * eps)
+	}
+	return grads
+}
+
+func TestConv2DBackwardNumeric(t *testing.T) {
+	x := randTensor(21, 1, 2, 5, 5)
+	w := randTensor(22, 3, 2, 3, 3)
+	b := randTensor(23, 3)
+	out := Conv2D(x, w, b, 1, 1)
+	// Random linear functional L = <gy, out> so gradients are nontrivial.
+	gy := randTensor(24, out.Shape...)
+
+	gx, gw, gb := Conv2DBackward(x, w, gy, 1, 1)
+
+	for name, pair := range map[string]struct {
+		analytic *Tensor
+		target   *Tensor
+	}{
+		"input":  {gx, x},
+		"kernel": {gw, w},
+		"bias":   {gb, b},
+	} {
+		numeric := numericGradConv(x, w, b, 1, 1, pair.target, gy)
+		for i := range numeric {
+			if !almostEqual(pair.analytic.Data[i], numeric[i], 1e-4*(1+math.Abs(numeric[i]))) {
+				t.Fatalf("%s grad[%d] = %g, numeric %g", name, i, pair.analytic.Data[i], numeric[i])
+			}
+		}
+	}
+}
+
+func TestConv2DBackwardStride2(t *testing.T) {
+	x := randTensor(31, 2, 1, 6, 6)
+	w := randTensor(32, 2, 1, 3, 3)
+	b := randTensor(33, 2)
+	out := Conv2D(x, w, b, 2, 1)
+	gy := randTensor(34, out.Shape...)
+	gx, _, _ := Conv2DBackward(x, w, gy, 2, 1)
+	numeric := numericGradConv(x, w, b, 2, 1, x, gy)
+	for i := range numeric {
+		if !almostEqual(gx.Data[i], numeric[i], 1e-4*(1+math.Abs(numeric[i]))) {
+			t.Fatalf("gx[%d] = %g, numeric %g", i, gx.Data[i], numeric[i])
+		}
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewFrom([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := NewFrom([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	a := randTensor(41, 7, 5)
+	b := randTensor(42, 5, 9)
+	ref := MatMul(a, b)
+
+	// MatMulT(a, bT) where bT = transpose(b)
+	bT := New(9, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 9; j++ {
+			bT.Set(b.At(i, j), j, i)
+		}
+	}
+	viaT := MatMulT(a, bT)
+
+	// MatMulAT(aT, b) where aT = transpose(a)
+	aT := New(5, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			aT.Set(a.At(i, j), j, i)
+		}
+	}
+	viaAT := MatMulAT(aT, b)
+
+	for i := range ref.Data {
+		if !almostEqual(viaT.Data[i], ref.Data[i], 1e-9) {
+			t.Fatalf("MatMulT disagrees at %d: %g vs %g", i, viaT.Data[i], ref.Data[i])
+		}
+		if !almostEqual(viaAT.Data[i], ref.Data[i], 1e-9) {
+			t.Fatalf("MatMulAT disagrees at %d: %g vs %g", i, viaAT.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulLargeParallel(t *testing.T) {
+	// Exercises the parallel path (n >= 64 rows).
+	a := randTensor(51, 128, 16)
+	b := randTensor(52, 16, 8)
+	got := MatMul(a, b)
+	// Spot-check a handful of entries against direct dot products.
+	for _, ij := range [][2]int{{0, 0}, {63, 7}, {127, 3}, {64, 0}} {
+		i, j := ij[0], ij[1]
+		s := 0.0
+		for k := 0; k < 16; k++ {
+			s += a.At(i, k) * b.At(k, j)
+		}
+		if !almostEqual(got.At(i, j), s, 1e-9) {
+			t.Fatalf("parallel MatMul (%d,%d) = %g, want %g", i, j, got.At(i, j), s)
+		}
+	}
+}

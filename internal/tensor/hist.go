@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a numeric range, used to render
+// the distribution figures of the paper (Fig. 6 error profiles, Fig. 11
+// input distributions) in text form.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int // total observations, including clamped outliers
+}
+
+// NewHistogram creates a histogram with `bins` equal-width bins over
+// [lo, hi]. Observations outside the range are clamped into the edge bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("tensor: invalid histogram [%g, %g] with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	b := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.N++
+}
+
+// ObserveAll adds every element of the slice.
+func (h *Histogram) ObserveAll(vs []float64) {
+	for _, v := range vs {
+		h.Observe(v)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Frequency returns the fraction of observations in bin i.
+func (h *Histogram) Frequency(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// Render draws an ASCII bar chart of the histogram, `width` characters at
+// the tallest bin.
+func (h *Histogram) Render(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%10.3f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// GaussianFit holds the maximum-likelihood Gaussian parameters of a sample
+// and a goodness-of-fit score.
+type GaussianFit struct {
+	Mean, Std float64
+	// KS is the Kolmogorov–Smirnov statistic of the sample against
+	// N(Mean, Std²): the sup-distance between empirical and model CDFs.
+	// Values near 0 indicate a close fit.
+	KS float64
+}
+
+// FitGaussian estimates mean and std of vs and computes the KS distance
+// between the empirical distribution and the fitted Gaussian. vs is
+// reordered (sorted) in place.
+func FitGaussian(vs []float64) GaussianFit {
+	n := len(vs)
+	if n == 0 {
+		return GaussianFit{}
+	}
+	mean := 0.0
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(n)
+	varSum := 0.0
+	for _, v := range vs {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(n))
+
+	sortFloats(vs)
+	ks := 0.0
+	if std > 0 {
+		for i, v := range vs {
+			z := (v - mean) / std
+			cdf := 0.5 * math.Erfc(-z/math.Sqrt2)
+			lo := float64(i) / float64(n)
+			hi := float64(i+1) / float64(n)
+			d := math.Max(math.Abs(cdf-lo), math.Abs(cdf-hi))
+			if d > ks {
+				ks = d
+			}
+		}
+	} else {
+		ks = 1
+	}
+	return GaussianFit{Mean: mean, Std: std, KS: ks}
+}
+
+func sortFloats(vs []float64) {
+	slices.Sort(vs)
+}

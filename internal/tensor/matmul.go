@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul returns a·b for 2D tensors a [M, K] and b [K, N].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	parallelRows(m, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a·bᵀ for a [M, K] and b [N, K].
+// This layout is cache-friendly for conv kernels stored as [OutCh, K].
+func MatMulT(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	parallelRows(m, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulAT returns aᵀ·b for a [K, M] and b [K, N].
+func MatMulAT(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAT outer dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	var mu sync.Mutex
+	parallelRows(k, func(p0, p1 int) {
+		local := make([]float64, m*n)
+		for p := p0; p < p1; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				lrow := local[i*n : (i+1)*n]
+				for j, bv := range brow {
+					lrow[j] += av * bv
+				}
+			}
+		}
+		mu.Lock()
+		for i, v := range local {
+			out.Data[i] += v
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// parallelRows splits [0, n) into contiguous chunks and runs body on each
+// chunk, using up to GOMAXPROCS goroutines. Small n runs inline.
+func parallelRows(n int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

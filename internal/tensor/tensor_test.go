@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 || x.Rank() != 2 {
+		t.Fatalf("got len=%d rank=%d", x.Len(), x.Rank())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("New not zero-filled: %v", x.Data)
+		}
+	}
+}
+
+func TestNewFromValidatesLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewFrom([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestNegativeShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dim")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %g, want 7.5", got)
+	}
+	// Row-major: offset of (1,2,3) = (1*3+2)*4+3 = 23.
+	if x.Data[23] != 7.5 {
+		t.Fatalf("row-major offset wrong: %v", x.Data)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := NewFrom([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Data[0] = 99
+	if x.Data[0] != 99 {
+		t.Fatal("Reshape must share the backing buffer")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(4, 6)
+	y := x.Reshape(2, -1)
+	if y.Shape[1] != 12 {
+		t.Fatalf("inferred dim = %d, want 12", y.Shape[1])
+	}
+}
+
+func TestReshapeIncompatiblePanics(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := NewFrom([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 5
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := NewFrom([]float64{1, 2, 3}, 3)
+	b := NewFrom([]float64{4, 5, 6}, 3)
+	if got := Add(a, b).Data; got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data; got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data; got[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, 2).Data; got[2] != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := NewFrom([]float64{1, 2}, 2)
+	a.AddInPlace(NewFrom([]float64{1, 1}, 2))
+	a.SubInPlace(NewFrom([]float64{0, 1}, 2))
+	a.MulInPlace(NewFrom([]float64{3, 3}, 2))
+	a.ScaleInPlace(0.5)
+	if a.Data[0] != 3 || a.Data[1] != 3 {
+		t.Fatalf("in-place chain = %v", a.Data)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(New(2), New(3))
+}
+
+func TestStats(t *testing.T) {
+	x := NewFrom([]float64{-1, 0, 1, 4}, 4)
+	if x.Sum() != 4 {
+		t.Fatalf("Sum = %g", x.Sum())
+	}
+	if x.Mean() != 1 {
+		t.Fatalf("Mean = %g", x.Mean())
+	}
+	lo, hi := x.MinMax()
+	if lo != -1 || hi != 4 {
+		t.Fatalf("MinMax = %g, %g", lo, hi)
+	}
+	if x.Range() != 5 {
+		t.Fatalf("Range = %g", x.Range())
+	}
+	want := math.Sqrt((4 + 1 + 0 + 9) / 4.0)
+	if !almostEqual(x.Std(), want, 1e-12) {
+		t.Fatalf("Std = %g, want %g", x.Std(), want)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	x := NewFrom([]float64{0.1, 0.9, 0.5}, 3)
+	if x.Argmax() != 1 {
+		t.Fatalf("Argmax = %d", x.Argmax())
+	}
+}
+
+func TestEmptyTensorStats(t *testing.T) {
+	x := New(0)
+	if x.Mean() != 0 || x.Std() != 0 || x.Range() != 0 {
+		t.Fatal("empty tensor stats must be zero")
+	}
+}
+
+// Property: Range is invariant under adding a constant and scales with
+// multiplication by a positive constant.
+func TestRangeProperties(t *testing.T) {
+	f := func(vals [8]float64, shift float64) bool {
+		data := make([]float64, 8)
+		for i, v := range vals {
+			data[i] = math.Mod(v, 1e6) // keep finite and moderate
+			if math.IsNaN(data[i]) {
+				data[i] = 0
+			}
+		}
+		x := NewFrom(data, 8)
+		r := x.Range()
+		shifted := x.Map(func(v float64) float64 { return v + math.Mod(shift, 1e6) })
+		if !almostEqual(shifted.Range(), r, 1e-6*(1+r)) {
+			return false
+		}
+		scaled := Scale(x, 3)
+		return almostEqual(scaled.Range(), 3*r, 1e-6*(1+r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and Sub(Add(a,b),b) == a.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		ta := NewFrom(clipSlice(a[:]), 6)
+		tb := NewFrom(clipSlice(b[:]), 6)
+		ab := Add(ta, tb)
+		ba := Add(tb, ta)
+		for i := range ab.Data {
+			if ab.Data[i] != ba.Data[i] {
+				return false
+			}
+		}
+		back := Sub(ab, tb)
+		for i := range back.Data {
+			if !almostEqual(back.Data[i], ta.Data[i], 1e-9*(1+math.Abs(ta.Data[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clipSlice(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = math.Mod(v, 1e6)
+	}
+	return out
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := NewFrom([]float64{1, 2}, 2)
+	if small.String() == "" {
+		t.Fatal("empty String for small tensor")
+	}
+	large := New(100).Fill(1)
+	if large.String() == "" {
+		t.Fatal("empty String for large tensor")
+	}
+}

@@ -1,0 +1,152 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"redcane/internal/datasets"
+	"redcane/internal/tensor"
+)
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+	// GradClip caps the global gradient L2 norm (0 disables clipping).
+	GradClip float64
+	// Log, if non-nil, receives one line per epoch.
+	Log io.Writer
+	// Decoder, if non-nil, adds Sabour et al.'s reconstruction
+	// regularizer with the given weight (ReconWeight defaults to
+	// 0.0005 per pixel-sum, the original setting, when zero).
+	Decoder     *Decoder
+	ReconWeight float64
+}
+
+// Result summarizes a training run.
+type Result struct {
+	FinalLoss     float64
+	TrainAccuracy float64
+	TestAccuracy  float64
+	Epochs        int
+}
+
+// Fit trains the model on the dataset with Adam and the margin loss.
+func Fit(m *Model, ds *datasets.Dataset, cfg Config) Result {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.ReconWeight == 0 {
+		cfg.ReconWeight = 0.0005 * 784 // Sabour et al.: 0.0005 × SSE
+	}
+	opt := NewAdam(cfg.LR)
+	rng := tensor.NewRNG(cfg.Seed)
+	n := ds.TrainX.Shape[0]
+	sample := ds.Channels * ds.H * ds.W
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			bs := hi - lo
+			xb := tensor.New(bs, ds.Channels, ds.H, ds.W)
+			yb := make([]int, bs)
+			for i := 0; i < bs; i++ {
+				idx := order[lo+i]
+				copy(xb.Data[i*sample:], ds.TrainX.Data[idx*sample:(idx+1)*sample])
+				yb[i] = ds.TrainY[idx]
+			}
+			m.ZeroGrad()
+			out := m.Forward(xb)
+			loss, grad := MarginLoss(out, yb)
+			params := m.Params()
+			if cfg.Decoder != nil {
+				cfg.Decoder.ZeroGrad()
+				recon := cfg.Decoder.Reconstruct(out, yb)
+				flat := xb.Reshape(bs, sample)
+				rl, gv := cfg.Decoder.Loss(recon, flat, yb, cfg.ReconWeight/float64(sample))
+				loss += rl
+				grad.AddInPlace(gv)
+				params = append(params, cfg.Decoder.Params()...)
+			}
+			m.Backward(grad)
+			if cfg.GradClip > 0 {
+				clipGrads(params, cfg.GradClip)
+			}
+			opt.Step(params)
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %d/%d: loss=%.4f\n", epoch+1, cfg.Epochs, lastLoss)
+		}
+	}
+	return Result{
+		FinalLoss:     lastLoss,
+		TrainAccuracy: Evaluate(m, ds.TrainX, ds.TrainY, cfg.BatchSize),
+		TestAccuracy:  Evaluate(m, ds.TestX, ds.TestY, cfg.BatchSize),
+		Epochs:        cfg.Epochs,
+	}
+}
+
+// clipGrads rescales all gradients so their global L2 norm is at most c.
+func clipGrads(params []*Param, c float64) {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			total += g * g
+		}
+	}
+	if total <= c*c {
+		return
+	}
+	scale := c / math.Sqrt(total)
+	for _, p := range params {
+		p.G.ScaleInPlace(scale)
+	}
+}
+
+// Evaluate computes classification accuracy of the training model.
+func Evaluate(m *Model, x *tensor.Tensor, labels []int, batch int) float64 {
+	n := x.Shape[0]
+	if n == 0 {
+		return 0
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	sample := x.Len() / n
+	correct := 0
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape[1:]...)
+		xb := tensor.NewFrom(x.Data[lo*sample:hi*sample], shape...)
+		preds := Predict(m.Forward(xb))
+		for i, p := range preds {
+			if p == labels[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
