@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the kernel + sweep-engine benchmarks and writes BENCH_1.json
+# (ns/op per benchmark plus engine-vs-naive sweep speedups).
+bench:
+	sh scripts/bench.sh BENCH_1.json
+
+clean:
+	rm -rf .redcane-cache

@@ -345,6 +345,97 @@ func BenchmarkInferenceDeepCaps(b *testing.B) {
 	}
 }
 
+// ---- Sweep engine ----------------------------------------------------
+
+// sweepBenchAnalyzer builds the analyzer fixture shared by the
+// sweep-engine benchmarks: a small untrained CapsNet (analysis cost does
+// not depend on weight quality) over one evaluation window.
+func sweepBenchAnalyzer(b *testing.B) (*core.Analyzer, float64) {
+	b.Helper()
+	ds := datasets.MNISTLike(32, 64, 42)
+	net, err := models.BuildInference(models.CapsNet([]int{1, 20, 20}, 10), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := &core.Analyzer{Net: net, Data: ds, Opts: core.Options{
+		NMSweep: []float64{0.5, 0.05, 0}, Trials: 1, MaxEval: 32, Seed: 5,
+	}.WithDefaults()}
+	return a, a.CleanAccuracy()
+}
+
+// naiveSweep replays the pre-engine sweep strategy — one full forward
+// pass per (point, trial), no prefix caching, no scratch reuse — as the
+// baseline for the engine benchmarks below.
+func naiveSweep(b *testing.B, a *core.Analyzer, filter noise.Filter) {
+	b.Helper()
+	o := a.Opts
+	x, y := a.Data.TestX, a.Data.TestY
+	if o.MaxEval > 0 && o.MaxEval < x.Shape[0] {
+		sample := x.Len() / x.Shape[0]
+		x = tensor.NewFrom(x.Data[:o.MaxEval*sample], append([]int{o.MaxEval}, x.Shape[1:]...)...)
+		y = y[:o.MaxEval]
+	}
+	for pi, nm := range o.NMSweep {
+		if nm == 0 {
+			continue
+		}
+		for trial := 0; trial < o.Trials; trial++ {
+			inj := noise.NewGaussian(nm, o.NA, filter, o.Seed+uint64(pi)*1000+uint64(trial))
+			caps.AccuracyWorkers(a.Net, x, y, inj, o.Batch, 1)
+		}
+	}
+}
+
+// BenchmarkLayerSweepClassCaps measures a layer-wise sweep targeting the
+// final routing layer: the injection frontier sits at ClassCaps, so the
+// engine replays cached conv/primary-caps activations and runs only the
+// routing suffix per sweep point.
+func BenchmarkLayerSweepClassCaps(b *testing.B) {
+	a, clean := sweepBenchAnalyzer(b)
+	filter := noise.ForLayerGroup("ClassCaps", noise.MACOutputs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sweep(filter, clean, 1)
+	}
+}
+
+// BenchmarkLayerSweepClassCapsNaive is the full-forward baseline for
+// BenchmarkLayerSweepClassCaps.
+func BenchmarkLayerSweepClassCapsNaive(b *testing.B) {
+	a, _ := sweepBenchAnalyzer(b)
+	filter := noise.ForLayerGroup("ClassCaps", noise.MACOutputs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveSweep(b, a, filter)
+	}
+}
+
+// BenchmarkGroupSweepEngine measures the four group-wise sweeps of
+// methodology Step 2 under the engine: the MAC-output and activation
+// groups front at layer 0 (no prefix to skip), while the softmax and
+// logits-update groups share a cached routing-layer frontier.
+func BenchmarkGroupSweepEngine(b *testing.B) {
+	a, clean := sweepBenchAnalyzer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for gi, g := range noise.Groups() {
+			a.Sweep(noise.ForGroup(g), clean, uint64(gi)*100000)
+		}
+	}
+}
+
+// BenchmarkGroupSweepNaive is the full-forward baseline for
+// BenchmarkGroupSweepEngine.
+func BenchmarkGroupSweepNaive(b *testing.B) {
+	a, _ := sweepBenchAnalyzer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range noise.Groups() {
+			naiveSweep(b, a, noise.ForGroup(g))
+		}
+	}
+}
+
 func BenchmarkMethodologyGroupSweepSmall(b *testing.B) {
 	// End-to-end Steps 1–3 on an untrained tiny CapsNet: measures the
 	// analysis overhead itself, independent of training.

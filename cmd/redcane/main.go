@@ -20,9 +20,11 @@
 //
 // Flags:
 //
-//	-dir    weight-cache directory (default .redcane-cache)
-//	-quick  reduced dataset/epoch/evaluation sizes
-//	-seed   master seed (default 42)
+//	-dir      weight-cache directory (default .redcane-cache)
+//	-quick    reduced dataset/epoch/evaluation sizes
+//	-seed     master seed (default 42)
+//	-workers  sweep-engine evaluation goroutines (default GOMAXPROCS);
+//	          results are bit-identical for any worker count
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	dir := flag.String("dir", ".redcane-cache", "weight-cache directory")
 	quick := flag.Bool("quick", false, "reduced dataset/epoch/evaluation sizes")
 	seed := flag.Uint64("seed", 42, "master seed")
+	workers := flag.Int("workers", 0, "sweep-engine evaluation goroutines (0 = GOMAXPROCS); never affects results")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	jsonPath := flag.String("json", "", "write the design report as JSON to this file (design/refine)")
 	verbose := flag.Bool("v", false, "log progress (training, sweep stages) to stderr")
@@ -50,7 +53,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Dir: *dir, Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
@@ -63,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: redcane [-dir cache] [-quick] [-seed n] <command>
+	fmt.Fprintln(os.Stderr, `usage: redcane [-dir cache] [-quick] [-seed n] [-workers n] <command>
 
 commands:
   train                     train (or load) all benchmarks, print Table II

@@ -50,11 +50,18 @@ func (l *Conv2D) Name() string { return l.LayerName }
 
 // Forward implements Layer.
 func (l *Conv2D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	y := tensor.Conv2D(x, l.W, l.B, l.Stride, l.Pad)
+	return l.ForwardScratch(x, inj, nil)
+}
+
+// ForwardScratch runs the layer with an optional scratch arena for the
+// convolution temporaries (nil allocates fresh).
+func (l *Conv2D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+	y := tensor.Conv2DScratch(x, l.W, l.B, l.Stride, l.Pad, s)
 	y = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, y)
 	if l.ReLU {
-		y = tensor.ReLU(y)
-		y = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.Activations}, y)
+		r := tensor.ReLU(y)
+		s.Release(y)
+		y = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.Activations}, r)
 	}
 	return y
 }
@@ -105,20 +112,28 @@ func (l *ConvCaps2D) Name() string { return l.LayerName }
 
 // Forward implements Layer.
 func (l *ConvCaps2D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	y := tensor.Conv2D(x, l.W, l.B, l.Stride, l.Pad)
+	return l.ForwardScratch(x, inj, nil)
+}
+
+// ForwardScratch runs the layer with an optional scratch arena for the
+// convolution temporaries (nil allocates fresh).
+func (l *ConvCaps2D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+	y := tensor.Conv2DScratch(x, l.W, l.B, l.Stride, l.Pad, s)
 	y = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, y)
 	if l.SkipSquash {
 		return y
 	}
-	return squashCaps(y, l.Caps, l.Dim, l.LayerName, inj)
+	return squashCaps(y, l.Caps, l.Dim, l.LayerName, inj, s)
 }
 
 // squashCaps squashes an NCHW tensor whose channels are caps·dim capsule
-// components and injects the Activations site.
-func squashCaps(y *tensor.Tensor, caps, dim int, layer string, inj noise.Injector) *tensor.Tensor {
+// components and injects the Activations site. The pre-squash tensor is
+// released back to the scratch arena.
+func squashCaps(y *tensor.Tensor, caps, dim int, layer string, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
 	n, h, w := y.Shape[0], y.Shape[2], y.Shape[3]
 	v := y.Reshape(n, caps, dim, h, w)
 	sq := tensor.Squash(v, 2)
+	s.Release(y)
 	sq = inj.Inject(noise.Site{Layer: layer, Group: noise.Activations}, sq)
 	return sq.Reshape(n, caps*dim, h, w)
 }

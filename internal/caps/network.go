@@ -2,6 +2,8 @@ package caps
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"redcane/internal/energy"
 	"redcane/internal/noise"
@@ -26,14 +28,22 @@ func (c *CapsCell) Name() string { return c.CellName }
 
 // Forward implements Layer.
 func (c *CapsCell) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	a := c.L1.Forward(x, inj)
-	b := c.L2.Forward(a, inj)
-	main := c.L3.Forward(b, inj)
-	skip := c.Skip.Forward(a, inj)
+	return c.ForwardScratch(x, inj, nil)
+}
+
+// ForwardScratch runs the cell, threading the scratch arena through all
+// four branch layers and recycling the branch activations once summed.
+func (c *CapsCell) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+	a := forwardLayer(c.L1, x, inj, s)
+	b := forwardLayer(c.L2, a, inj, s)
+	main := forwardLayer(c.L3, b, inj, s)
+	skip := forwardLayer(c.Skip, a, inj, s)
 	if !main.SameShape(skip) {
 		panic(fmt.Sprintf("caps: cell %s branch shapes %v vs %v", c.CellName, main.Shape, skip.Shape))
 	}
-	return tensor.Add(main, skip)
+	out := tensor.Add(main, skip)
+	s.Release(a, b, main, skip)
+	return out
 }
 
 // Sites implements Layer.
@@ -86,16 +96,86 @@ type Network struct {
 // Name returns the network's name.
 func (n *Network) Name() string { return n.NetName }
 
-// Forward runs all layers under the given injector. Pass noise.None{} for
-// accurate inference.
-func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+// scratchForwarder is implemented by layers whose forward pass can
+// recycle temporaries through a scratch arena. Layers without it fall
+// back to plain Forward.
+type scratchForwarder interface {
+	ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor
+}
+
+// scratchPool recycles per-forward scratch arenas across calls. Each
+// Forward borrows one arena for its whole pass, so concurrent forwards
+// never share buffers.
+var scratchPool = sync.Pool{New: func() any { return tensor.NewScratch() }}
+
+// forwardLayer runs one layer, threading the scratch arena when the layer
+// supports it.
+func forwardLayer(l Layer, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+	if sf, ok := l.(scratchForwarder); ok {
+		return sf.ForwardScratch(x, inj, s)
+	}
+	return l.Forward(x, inj)
+}
+
+// forwardRange runs layers [lo, hi) on x under inj with scratch s.
+func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
 	if inj == nil {
 		inj = noise.None{}
 	}
-	for _, l := range n.Layers {
-		x = l.Forward(x, inj)
+	for _, l := range n.Layers[lo:hi] {
+		x = forwardLayer(l, x, inj, s)
 	}
 	return x
+}
+
+// Forward runs all layers under the given injector. Pass noise.None{} for
+// accurate inference.
+func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	s := scratchPool.Get().(*tensor.Scratch)
+	defer scratchPool.Put(s)
+	return n.forwardRange(0, len(n.Layers), x, inj, s)
+}
+
+// ForwardTo runs only the prefix layers [0, k) — the clean-prefix half of
+// a split forward pass. ForwardTo(k, x, noise.None{}) followed by
+// ForwardFrom(k, ·, inj) is bit-identical to Forward(x, inj) whenever inj
+// is inactive on every site before layer k (see Network.InjectionFrontier).
+func (n *Network) ForwardTo(k int, x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	s := scratchPool.Get().(*tensor.Scratch)
+	defer scratchPool.Put(s)
+	return n.forwardRange(0, k, x, inj, s)
+}
+
+// ForwardFrom runs the suffix layers [k, len(Layers)) on x, which must be
+// the activation produced at boundary k (e.g. by ForwardTo). The sweep
+// engine replays cached clean prefixes through this entry point. x is
+// never mutated, so one cached activation can be replayed many times.
+func (n *Network) ForwardFrom(k int, x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	s := scratchPool.Get().(*tensor.Scratch)
+	defer scratchPool.Put(s)
+	return n.ForwardFromScratch(k, x, inj, s)
+}
+
+// ForwardFromScratch is ForwardFrom with a caller-owned scratch arena,
+// for worker loops that evaluate many batches back to back.
+func (n *Network) ForwardFromScratch(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+	return n.forwardRange(k, len(n.Layers), x, inj, s)
+}
+
+// InjectionFrontier returns the index of the first layer owning an
+// injection site accepted by the filter, or len(n.Layers) when no layer
+// matches. Every layer before the frontier produces bit-identical clean
+// activations under an injector restricted to that filter — the
+// invariant the sweep engine's clean-prefix cache relies on.
+func (n *Network) InjectionFrontier(accept noise.Filter) int {
+	for li, l := range n.Layers {
+		for _, site := range l.Sites() {
+			if accept(site) {
+				return li
+			}
+		}
+	}
+	return len(n.Layers)
 }
 
 // Sites enumerates every injection point in forward order.
@@ -182,9 +262,24 @@ func (n *Network) ClassScores(x *tensor.Tensor, inj noise.Injector) *tensor.Tens
 
 // Classify returns the argmax class for each sample in the batch.
 func (n *Network) Classify(x *tensor.Tensor, inj noise.Injector) []int {
-	scores := n.ClassScores(x, inj)
+	s := scratchPool.Get().(*tensor.Scratch)
+	defer scratchPool.Put(s)
+	return n.ClassifyFrom(0, x, inj, s)
+}
+
+// ClassifyFrom classifies a batch by running only the suffix layers
+// [k, len(Layers)) on x (the activation at boundary k), with an optional
+// scratch arena (nil allocates fresh). It is the sweep engine's
+// evaluation primitive: cached clean prefixes classify via
+// ClassifyFrom(frontier, prefix, inj, scratch).
+func (n *Network) ClassifyFrom(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) []int {
+	out := n.ForwardFromScratch(k, x, inj, s)
+	if out.Rank() != 3 {
+		panic(fmt.Sprintf("caps: network %s output rank %d, want [batch, caps, dim]", n.NetName, out.Rank()))
+	}
+	scores := tensor.NormAxis(out, 2)
 	batch, classes := scores.Shape[0], scores.Shape[1]
-	out := make([]int, batch)
+	pred := make([]int, batch)
 	for b := 0; b < batch; b++ {
 		best, arg := scores.At(b, 0), 0
 		for c := 1; c < classes; c++ {
@@ -192,14 +287,32 @@ func (n *Network) Classify(x *tensor.Tensor, inj noise.Injector) []int {
 				best, arg = v, c
 			}
 		}
-		out[b] = arg
+		pred[b] = arg
 	}
-	return out
+	return pred
+}
+
+// batchView slices samples [lo, hi) of x as a view (no copy).
+func batchView(x *tensor.Tensor, sample, lo, hi int) *tensor.Tensor {
+	shape := append([]int{hi - lo}, x.Shape[1:]...)
+	return tensor.NewFrom(x.Data[lo*sample:hi*sample], shape...)
 }
 
 // Accuracy evaluates classification accuracy over a dataset, processing
 // `batch` samples per forward pass. X is [n, c, h, w]; labels has length n.
+//
+// When the injector supports noise.Splitter, batches evaluate under
+// independent counter-seeded injector streams and may run concurrently;
+// the result is bit-identical for any worker count (batch i always runs
+// under inj.Split(i)). Stateful injectors without Split evaluate
+// sequentially with the shared injector, preserving its visit order.
 func Accuracy(net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, batch int) float64 {
+	return AccuracyWorkers(net, x, labels, inj, batch, runtime.GOMAXPROCS(0))
+}
+
+// AccuracyWorkers is Accuracy with an explicit worker bound (values < 1
+// mean serial). The worker count affects scheduling only, never results.
+func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, batch, workers int) float64 {
 	n := x.Shape[0]
 	if n == 0 {
 		return 0
@@ -207,21 +320,84 @@ func Accuracy(net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, 
 	if batch <= 0 {
 		batch = 32
 	}
+	if inj == nil {
+		inj = noise.None{}
+	}
 	sample := x.Len() / n
-	correct := 0
-	for lo := 0; lo < n; lo += batch {
+	nb := (n + batch - 1) / batch
+
+	splitter, splittable := inj.(noise.Splitter)
+	if !splittable {
+		// Stateful injector: one shared RNG stream across all batches.
+		s := scratchPool.Get().(*tensor.Scratch)
+		defer scratchPool.Put(s)
+		correct := 0
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			pred := net.ClassifyFrom(0, batchView(x, sample, lo, hi), inj, s)
+			for i, p := range pred {
+				if p == labels[lo+i] {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(n)
+	}
+
+	if workers > nb {
+		workers = nb
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	counts := make([]int, nb)
+	evalBatch := func(bi int, s *tensor.Scratch) {
+		lo := bi * batch
 		hi := lo + batch
 		if hi > n {
 			hi = n
 		}
-		shape := append([]int{hi - lo}, x.Shape[1:]...)
-		xb := tensor.NewFrom(x.Data[lo*sample:hi*sample], shape...)
-		pred := net.Classify(xb, inj)
+		pred := net.ClassifyFrom(0, batchView(x, sample, lo, hi), splitter.Split(uint64(bi)), s)
+		c := 0
 		for i, p := range pred {
 			if p == labels[lo+i] {
-				correct++
+				c++
 			}
 		}
+		counts[bi] = c
+	}
+	if workers == 1 {
+		s := scratchPool.Get().(*tensor.Scratch)
+		for bi := 0; bi < nb; bi++ {
+			evalBatch(bi, s)
+		}
+		scratchPool.Put(s)
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := scratchPool.Get().(*tensor.Scratch)
+				defer scratchPool.Put(s)
+				for bi := range jobs {
+					evalBatch(bi, s)
+				}
+			}()
+		}
+		for bi := 0; bi < nb; bi++ {
+			jobs <- bi
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	correct := 0
+	for _, c := range counts {
+		correct += c
 	}
 	return float64(correct) / float64(n)
 }

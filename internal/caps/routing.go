@@ -25,25 +25,33 @@ func (l *ConvCaps3D) Name() string { return l.LayerName }
 
 // Forward implements Layer.
 func (l *ConvCaps3D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	votes, oh, ow := l.votes(x)
+	return l.ForwardScratch(x, inj, nil)
+}
+
+// ForwardScratch runs the layer with an optional scratch arena for the
+// vote and routing temporaries (nil allocates fresh).
+func (l *ConvCaps3D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+	votes, oh, ow := l.votes(x, s)
 	votes = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, votes)
-	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj)
+	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s)
+	s.Release(votes)
 	n := x.Shape[0]
 	return v.Reshape(n, l.OutCaps*l.OutDim, oh, ow)
 }
 
 // votes computes the per-input-capsule convolution votes, shape
-// [n, inCaps, outCaps, outDim, oh*ow].
-func (l *ConvCaps3D) votes(x *tensor.Tensor) (v *tensor.Tensor, oh, ow int) {
+// [n, inCaps, outCaps, outDim, oh*ow]. The returned tensor comes from the
+// scratch arena (every element is overwritten); the caller releases it.
+func (l *ConvCaps3D) votes(x *tensor.Tensor, s *tensor.Scratch) (v *tensor.Tensor, oh, ow int) {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	k := l.W.Shape[3]
 	spec := tensor.ConvSpec{KH: k, KW: k, Stride: l.Stride, Pad: l.Pad}
 	oh, ow = spec.OutSize(h, w)
 	xi := x.Reshape(n, l.InCaps, l.InDim, h, w)
-	votes := tensor.New(n, l.InCaps, l.OutCaps, l.OutDim, oh*ow)
+	votes := s.Take(n, l.InCaps, l.OutCaps, l.OutDim, oh*ow)
+	sub := s.Take(n, l.InDim, h, w)
 	for i := 0; i < l.InCaps; i++ {
 		// Slice input capsule i: [n, inDim, h, w].
-		sub := tensor.New(n, l.InDim, h, w)
 		for b := 0; b < n; b++ {
 			src := xi.Data[((b*l.InCaps+i)*l.InDim)*h*w : ((b*l.InCaps+i)*l.InDim+l.InDim)*h*w]
 			copy(sub.Data[b*l.InDim*h*w:], src)
@@ -51,13 +59,15 @@ func (l *ConvCaps3D) votes(x *tensor.Tensor) (v *tensor.Tensor, oh, ow int) {
 		wi := tensor.NewFrom(
 			l.W.Data[i*l.OutCaps*l.OutDim*l.InDim*k*k:(i+1)*l.OutCaps*l.OutDim*l.InDim*k*k],
 			l.OutCaps*l.OutDim, l.InDim, k, k)
-		out := tensor.Conv2D(sub, wi, nil, l.Stride, l.Pad) // [n, outCaps*outDim, oh, ow]
+		out := tensor.Conv2DScratch(sub, wi, nil, l.Stride, l.Pad, s) // [n, outCaps*outDim, oh, ow]
 		for b := 0; b < n; b++ {
 			src := out.Data[b*l.OutCaps*l.OutDim*oh*ow : (b+1)*l.OutCaps*l.OutDim*oh*ow]
 			dst := votes.Data[((b*l.InCaps+i)*l.OutCaps*l.OutDim)*oh*ow:]
 			copy(dst, src)
 		}
+		s.Release(out)
 	}
+	s.Release(sub)
 	return votes, oh, ow
 }
 
@@ -103,10 +113,16 @@ func (l *ClassCaps) Name() string { return l.LayerName }
 // Forward implements Layer. The input may be [n, caps*dim, h, w] (capsule
 // types replicated over positions) or already [n, inCaps, inDim].
 func (l *ClassCaps) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	return l.ForwardScratch(x, inj, nil)
+}
+
+// ForwardScratch runs the layer with an optional scratch arena for the
+// vote and routing temporaries (nil allocates fresh).
+func (l *ClassCaps) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
 	n := x.Shape[0]
 	u := flattenToCaps(x, l.InCaps, l.InDim)
 	// Votes û[b, i, j, d] = Σ_e W[i, j, d, e] · u[b, i, e].
-	votes := tensor.New(n, l.InCaps, l.OutCaps, l.OutDim, 1)
+	votes := s.Take(n, l.InCaps, l.OutCaps, l.OutDim, 1)
 	for b := 0; b < n; b++ {
 		for i := 0; i < l.InCaps; i++ {
 			ui := u.Data[(b*l.InCaps+i)*l.InDim : (b*l.InCaps+i+1)*l.InDim]
@@ -125,7 +141,11 @@ func (l *ClassCaps) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor
 		}
 	}
 	votes = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, votes)
-	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj)
+	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s)
+	if u != x {
+		s.Release(u) // u was a flattening copy, not the caller's input
+	}
+	s.Release(votes)
 	return v.Reshape(n, l.OutCaps, l.OutDim)
 }
 
@@ -198,7 +218,7 @@ func DynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 	if inj == nil {
 		inj = noise.None{}
 	}
-	return dynamicRouting(votes, layer, iterations, inj)
+	return dynamicRouting(votes, layer, iterations, inj, nil)
 }
 
 // dynamicRouting runs routing-by-agreement over votes of shape
@@ -206,14 +226,15 @@ func DynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 // [n, outCaps, outDim, positions]. Each Table III operation passes through
 // the injector every iteration, exactly as the modified-TensorFlow-graph
 // implementation of the paper injects at every executed node (Sec. V-B).
-func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj noise.Injector) *tensor.Tensor {
+// Per-iteration temporaries recycle through the optional scratch arena.
+func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj noise.Injector, sc *tensor.Scratch) *tensor.Tensor {
 	if iterations < 1 {
 		iterations = 1
 	}
 	n, inCaps, outCaps := votes.Shape[0], votes.Shape[1], votes.Shape[2]
 	outDim, pos := votes.Shape[3], votes.Shape[4]
 
-	logits := tensor.New(n, inCaps, outCaps, pos)
+	logits := sc.TakeZero(n, inCaps, outCaps, pos)
 	var v *tensor.Tensor
 	for it := 0; it < iterations; it++ {
 		// Coupling coefficients k = softmax over output capsules.
@@ -221,7 +242,7 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 		k = inj.Inject(noise.Site{Layer: layer, Group: noise.Softmax}, k)
 
 		// s[b, j, d, p] = Σ_i k[b, i, j, p] · û[b, i, j, d, p]
-		s := tensor.New(n, outCaps, outDim, pos)
+		s := sc.TakeZero(n, outCaps, outDim, pos)
 		for b := 0; b < n; b++ {
 			for i := 0; i < inCaps; i++ {
 				for j := 0; j < outCaps; j++ {
@@ -238,8 +259,10 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 		}
 
 		// v = squash(s) along the capsule dimension.
+		prev := v
 		v = tensor.Squash(s, 2)
 		v = inj.Inject(noise.Site{Layer: layer, Group: noise.Activations}, v)
+		sc.Release(k, s, prev)
 
 		if it == iterations-1 {
 			break
@@ -261,5 +284,6 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 		}
 		logits = inj.Inject(noise.Site{Layer: layer, Group: noise.LogitsUpdate}, logits)
 	}
+	sc.Release(logits)
 	return v
 }

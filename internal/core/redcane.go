@@ -19,8 +19,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
 
 	"redcane/internal/approx"
 	"redcane/internal/caps"
@@ -53,6 +53,13 @@ type Options struct {
 	// MaxEval caps the number of test samples evaluated per sweep point
 	// (0 = all).
 	MaxEval int
+	// Workers bounds the sweep engine's evaluation goroutines
+	// (0 = runtime.GOMAXPROCS(0)). Scheduling never affects results:
+	// sweeps are bit-identical for any worker count.
+	Workers int
+	// PrefixCacheMB bounds the memory (in MiB) of the clean-prefix
+	// activation cache used by the sweep engine (0 = 256).
+	PrefixCacheMB int
 }
 
 // WithDefaults fills unset options with the paper's defaults.
@@ -68,6 +75,12 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Threshold == 0 {
 		o.Threshold = 0.01
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.PrefixCacheMB <= 0 {
+		o.PrefixCacheMB = 256
 	}
 	return o
 }
@@ -140,7 +153,8 @@ type Analyzer struct {
 	Data *datasets.Dataset
 	Opts Options
 
-	sites map[noise.Group][]noise.Site // Step 1 cache
+	sites  map[noise.Group][]noise.Site // Step 1 cache
+	pcache *prefixCache                 // sweep engine's whole-set clean-prefix cache
 }
 
 // CleanAccuracy evaluates the noiseless test accuracy under the
@@ -176,52 +190,6 @@ func (a *Analyzer) ExtractGroups() map[noise.Group][]noise.Site {
 	a.Net.Forward(one, rec)
 	a.sites = rec.ByGroup()
 	return a.sites
-}
-
-// sweep measures accuracy across the NM grid with the given site filter.
-// Sweep points are independent (inference layers are stateless and each
-// point gets its own seeded injector), so they evaluate concurrently with
-// a small worker bound; results are deterministic per seed regardless of
-// scheduling.
-func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
-	o := a.Opts
-	x, y := a.evalData()
-	points := make([]SweepPoint, len(o.NMSweep))
-
-	type job struct{ pi int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	workers := 3
-	if workers > len(o.NMSweep) {
-		workers = len(o.NMSweep)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				nm := o.NMSweep[j.pi]
-				acc := 0.0
-				if nm == 0 {
-					acc = clean
-				} else {
-					for trial := 0; trial < o.Trials; trial++ {
-						seed := o.Seed + seedBase + uint64(j.pi)*1000 + uint64(trial)
-						inj := noise.NewGaussian(nm, o.NA, filter, seed)
-						acc += caps.Accuracy(a.Net, x, y, inj, o.Batch)
-					}
-					acc /= float64(o.Trials)
-				}
-				points[j.pi] = SweepPoint{NM: nm, Accuracy: acc, Drop: acc - clean}
-			}
-		}()
-	}
-	for pi := range o.NMSweep {
-		jobs <- job{pi}
-	}
-	close(jobs)
-	wg.Wait()
-	return points
 }
 
 // toleratedNM returns the largest NM whose drop stays within the

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"redcane/internal/noise"
+	"redcane/internal/tensor"
+)
+
+// This file implements the sweep engine: the hot path of the methodology.
+// Steps 2 and 4 re-run full test-set inference for every (group or layer)
+// × noise-magnitude point × trial, which dominates the total analysis
+// cost (the paper skips resilient groups for exactly this reason). Three
+// accelerations apply:
+//
+//  1. Clean-prefix activation caching. Noise is injected only at the
+//     sites selected by the sweep's filter, so every layer before the
+//     first active site (the injection frontier) produces bit-identical
+//     clean activations at every sweep point and trial. The engine
+//     computes each batch's clean activation up to the frontier once and
+//     replays only the suffix per evaluation. For late frontiers
+//     (ClassCaps-targeted layer sweeps, the softmax / logits-update
+//     groups) this skips the bulk of the forward pass.
+//  2. Deterministic parallel evaluation. Work is scheduled as
+//     independent (sweep point × trial × batch) jobs over a
+//     GOMAXPROCS-aware worker pool (Options.Workers). Each job draws its
+//     noise from a counter-seeded RNG stream derived from (Options.Seed,
+//     sweep-call counter, point, trial, batch index) via
+//     noise.StreamSeed, so results are bit-identical for any worker
+//     count and any scheduling order.
+//  3. Scratch-arena reuse. Each worker owns a tensor.Scratch, so the
+//     im2col / product / routing temporaries of repeated suffix forwards
+//     recycle instead of churning the garbage collector.
+//
+// The cache is memory-bounded by Options.PrefixCacheMB: when the whole
+// evaluation set's frontier activations fit, they are computed once and
+// also retained on the Analyzer for back-to-back sweeps sharing a
+// frontier (e.g. the softmax and logits-update group sweeps); otherwise
+// batches are processed in windows that fit the bound, re-deriving the
+// prefix per window.
+
+// prefixCache retains the clean activations at one frontier for the whole
+// evaluation set, one tensor per batch.
+type prefixCache struct {
+	frontier int
+	acts     []*tensor.Tensor
+}
+
+// sweepWorkers resolves the configured worker bound.
+func (o Options) sweepWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes fn(j) for j in [0, jobs) on up to `workers`
+// goroutines, handing each worker a private scratch arena. fn must write
+// only to its own job's result slot; under that contract the outcome is
+// independent of scheduling.
+func runJobs(workers, jobs int, fn func(j int, s *tensor.Scratch)) {
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		s := tensor.NewScratch()
+		for j := 0; j < jobs; j++ {
+			fn(j, s)
+		}
+		return
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := tensor.NewScratch()
+			for j := range ch {
+				fn(j, s)
+			}
+		}()
+	}
+	for j := 0; j < jobs; j++ {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// prefixBytesPerBatch estimates the byte size of one batch's clean
+// activation at the frontier from the layers' static shape arithmetic.
+func (a *Analyzer) prefixBytesPerBatch(frontier, batch int) int {
+	shape := append([]int{batch}, a.Net.InputShape...)
+	for _, l := range a.Net.Layers[:frontier] {
+		_, shape = l.Ops(shape)
+	}
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	return 8 * elems
+}
+
+// prefixWindow returns how many batches of frontier activations fit the
+// configured memory bound (always at least one).
+func (a *Analyzer) prefixWindow(frontier, nb int) int {
+	per := a.prefixBytesPerBatch(frontier, a.Opts.Batch)
+	budget := a.Opts.PrefixCacheMB * 1 << 20
+	w := 1
+	if per > 0 {
+		w = budget / per
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > nb {
+		w = nb
+	}
+	return w
+}
+
+// prefixActivations returns the clean activations at the frontier for
+// batches [b0, b1). When the window spans the whole evaluation set the
+// result is retained on the Analyzer and reused by subsequent sweeps with
+// the same frontier. frontier == 0 returns zero-copy views of x.
+func (a *Analyzer) prefixActivations(frontier int, x *tensor.Tensor, b0, b1, nb int) []*tensor.Tensor {
+	n := x.Shape[0]
+	sample := x.Len() / n
+	batch := a.Opts.Batch
+	view := func(bi int) *tensor.Tensor {
+		lo := bi * batch
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape[1:]...)
+		return tensor.NewFrom(x.Data[lo*sample:hi*sample], shape...)
+	}
+
+	acts := make([]*tensor.Tensor, b1-b0)
+	if frontier == 0 {
+		for bi := b0; bi < b1; bi++ {
+			acts[bi-b0] = view(bi)
+		}
+		return acts
+	}
+	whole := b0 == 0 && b1 == nb
+	if whole && a.pcache != nil && a.pcache.frontier == frontier {
+		return a.pcache.acts
+	}
+	runJobs(a.Opts.sweepWorkers(), b1-b0, func(j int, _ *tensor.Scratch) {
+		acts[j] = a.Net.ForwardTo(frontier, view(b0+j), noise.None{})
+	})
+	if whole {
+		a.pcache = &prefixCache{frontier: frontier, acts: acts}
+	}
+	return acts
+}
+
+// Sweep measures accuracy across the NM grid with the given site filter.
+// seedBase namespaces the RNG streams of distinct sweeps; reuse the same
+// value to reproduce a sweep bit-for-bit.
+func (a *Analyzer) Sweep(filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
+	return a.sweep(filter, clean, seedBase)
+}
+
+// sweep measures accuracy across the NM grid with the given site filter.
+// seedBase is a per-sweep counter folded into every job's RNG stream, so
+// distinct sweeps draw independent noise while identical configurations
+// reproduce bit-for-bit, regardless of Options.Workers.
+func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
+	o := a.Opts
+	x, y := a.evalData()
+	n := x.Shape[0]
+	nb := (n + o.Batch - 1) / o.Batch
+	frontier := a.Net.InjectionFrontier(filter)
+
+	// Enumerate the (point, trial) evaluations; NM = 0 is the clean point.
+	type eval struct{ pi, trial int }
+	var evals []eval
+	for pi, nm := range o.NMSweep {
+		if nm == 0 {
+			continue
+		}
+		for trial := 0; trial < o.Trials; trial++ {
+			evals = append(evals, eval{pi, trial})
+		}
+	}
+
+	correct := make([]int, len(evals)) // per (point, trial), summed over batches
+	window := a.prefixWindow(frontier, nb)
+	for b0 := 0; b0 < nb; b0 += window {
+		b1 := b0 + window
+		if b1 > nb {
+			b1 = nb
+		}
+		acts := a.prefixActivations(frontier, x, b0, b1, nb)
+
+		// One job per (point, trial, batch); each job owns its result slot.
+		nbw := b1 - b0
+		jobCorrect := make([]int, len(evals)*nbw)
+		runJobs(o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
+			e := evals[j/nbw]
+			bi := b0 + j%nbw
+			nm := o.NMSweep[e.pi]
+			seed := noise.StreamSeed(o.Seed, seedBase, uint64(e.pi), uint64(e.trial), uint64(bi))
+			inj := noise.NewGaussian(nm, o.NA, filter, seed)
+			pred := a.Net.ClassifyFrom(frontier, acts[bi-b0], inj, s)
+			lo := bi * o.Batch
+			c := 0
+			for i, p := range pred {
+				if p == y[lo+i] {
+					c++
+				}
+			}
+			jobCorrect[j] = c
+		})
+		for j, c := range jobCorrect {
+			correct[j/nbw] += c
+		}
+	}
+
+	points := make([]SweepPoint, len(o.NMSweep))
+	ei := 0
+	for pi, nm := range o.NMSweep {
+		acc := clean
+		if nm != 0 {
+			total := 0
+			for trial := 0; trial < o.Trials; trial++ {
+				total += correct[ei]
+				ei++
+			}
+			acc = float64(total) / float64(o.Trials*n)
+		}
+		points[pi] = SweepPoint{NM: nm, Accuracy: acc, Drop: acc - clean}
+	}
+	return points
+}

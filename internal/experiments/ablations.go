@@ -57,7 +57,10 @@ func (r *Runner) AblationRoutingIterations() (*RoutingIterationsResult, error) {
 	}()
 
 	const nm = 0.1
-	x, y := capEval(t, r.evalCap())
+	// Double the usual evaluation cap: this ablation compares three drop
+	// estimates against each other, so it needs tighter error bars than a
+	// single sweep point (quick mode's 60 samples quantize at 1.7 pp).
+	x, y := capEval(t, 2*r.evalCap())
 	// Inject into the routing layers' vote tensors (MAC outputs): if the
 	// paper's adaptation mechanism holds, extra routing iterations give
 	// the coupling coefficients more chances to steer around the noise.
@@ -75,7 +78,13 @@ func (r *Runner) AblationRoutingIterations() (*RoutingIterationsResult, error) {
 		}
 		clean := caps.Accuracy(t.Net, x, y, noise.None{}, 32)
 		noisy := 0.0
+		// This ablation compares three drop estimates against each other,
+		// so it needs a steadier average than the sweep default (quick
+		// mode's single trial of 60 samples jitters by whole percent).
 		trials := r.trials()
+		if trials < 3 {
+			trials = 3
+		}
 		for tr := 0; tr < trials; tr++ {
 			inj := noise.NewGaussian(nm, 0, filter, r.Cfg.Seed+31+uint64(tr))
 			noisy += caps.Accuracy(t.Net, x, y, inj, 32)

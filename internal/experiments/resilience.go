@@ -108,6 +108,7 @@ func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
 			Threshold: r.threshold(),
 			Seed:      r.Cfg.Seed + 21,
 			MaxEval:   r.evalCap(),
+			Workers:   r.Cfg.Workers,
 		}.WithDefaults(),
 	}
 	clean := a.CleanAccuracy()
@@ -208,6 +209,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 			Threshold: r.threshold(),
 			Seed:      r.Cfg.Seed + 22,
 			MaxEval:   r.evalCap(),
+			Workers:   r.Cfg.Workers,
 		}.WithDefaults(),
 	}
 	clean := a.CleanAccuracy()
@@ -265,6 +267,7 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 			Threshold: r.threshold(),
 			Seed:      r.Cfg.Seed + 23,
 			MaxEval:   r.evalCap(),
+			Workers:   r.Cfg.Workers,
 		},
 	}
 	return &DesignResult{Report: a.Run(profiles), profiles: profiles}, nil
@@ -289,6 +292,7 @@ func (r *Runner) RefineDesign(b Benchmark, d *DesignResult) (core.RefineResult, 
 			Threshold: r.threshold(),
 			Seed:      r.Cfg.Seed + 24,
 			MaxEval:   r.evalCap(),
+			Workers:   r.Cfg.Workers,
 		},
 	}
 	return a.Refine(d.Report.Choices, d.profiles, d.Report.CleanAccuracy, r.threshold(), 50), nil

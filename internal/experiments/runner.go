@@ -34,6 +34,9 @@ type Config struct {
 	// Log, when non-nil, receives progress lines (training starts,
 	// sweep stages) — useful during the multi-minute full-mode runs.
 	Log io.Writer
+	// Workers bounds the sweep engine's evaluation goroutines
+	// (0 = runtime.GOMAXPROCS(0)); results are identical for any value.
+	Workers int
 }
 
 // Benchmark is one (architecture, dataset) pair of the paper's Table II.

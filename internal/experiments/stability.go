@@ -45,6 +45,7 @@ func (r *Runner) Stability(b Benchmark, n int) (*StabilityResult, error) {
 				Threshold: r.threshold(),
 				Seed:      r.Cfg.Seed + 1000*uint64(s+1),
 				MaxEval:   r.evalCap(),
+				Workers:   r.Cfg.Workers,
 			}.WithDefaults(),
 		}
 		clean := a.CleanAccuracy()

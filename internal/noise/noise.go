@@ -90,6 +90,44 @@ type None struct{}
 // Inject returns x unchanged.
 func (None) Inject(_ Site, x *tensor.Tensor) *tensor.Tensor { return x }
 
+// Split implements Splitter; every stream of a no-op injector is a no-op.
+func (None) Split(uint64) Injector { return None{} }
+
+// Splitter is an Injector that can derive independent per-stream
+// injectors from a counter. Evaluation engines use it to process batches
+// concurrently while staying bit-identical to serial evaluation: batch i
+// always runs under Split(i), whose noise depends only on (base seed,
+// stream counter, site visit order) — never on goroutine scheduling.
+type Splitter interface {
+	Injector
+	// Split returns an injector whose randomness is a pure function of
+	// the receiver's configuration and the stream counter. Distinct
+	// streams are statistically independent; equal streams are
+	// bit-identical.
+	Split(stream uint64) Injector
+}
+
+// StreamSeed derives a decorrelated RNG seed from a base seed and a
+// sequence of counters (sweep point, trial, batch index, …). It applies
+// the splitmix64 finalizer after folding in each counter, so nearby
+// counter tuples map to statistically independent seeds — the
+// counter-based seeding scheme that makes parallel sweeps deterministic
+// regardless of scheduling.
+func StreamSeed(base uint64, counters ...uint64) uint64 {
+	h := base
+	for _, c := range counters {
+		h += 0x9e3779b97f4a7c15 // golden-ratio increment separates counters
+		h ^= c
+		// splitmix64 finalizer.
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Filter selects the sites an injector is active on.
 type Filter func(Site) bool
 
@@ -131,6 +169,7 @@ type Gaussian struct {
 	// range-estimator ablation.
 	RangeFn func(*tensor.Tensor) float64
 	filter  Filter
+	seed    uint64
 	rng     interface {
 		NormFloat64() float64
 	}
@@ -149,9 +188,20 @@ func NewGaussian(nm, na float64, filter Filter, seed uint64) *Gaussian {
 		NM:      nm,
 		NA:      na,
 		filter:  filter,
+		seed:    seed,
 		rng:     tensor.NewRNG(seed),
 		Visited: make(map[Site]int),
 	}
+}
+
+// Split implements Splitter: the returned injector shares the receiver's
+// NM/NA/filter/RangeFn but draws from an RNG seeded by
+// StreamSeed(seed, stream), so per-batch noise depends only on the base
+// seed and the batch counter.
+func (g *Gaussian) Split(stream uint64) Injector {
+	c := NewGaussian(g.NM, g.NA, g.filter, StreamSeed(g.seed, stream))
+	c.RangeFn = g.RangeFn
+	return c
 }
 
 // Inject applies Eq. 3–4 in place when the site is selected.

@@ -14,12 +14,20 @@ type Params struct {
 // injection order; not safe for concurrent use.
 type PerSite struct {
 	params map[Site]Params
+	seed   uint64
 	rng    interface{ NormFloat64() float64 }
 }
 
 // NewPerSite builds the injector; sites absent from params are accurate.
 func NewPerSite(params map[Site]Params, seed uint64) *PerSite {
-	return &PerSite{params: params, rng: tensor.NewRNG(seed)}
+	return &PerSite{params: params, seed: seed, rng: tensor.NewRNG(seed)}
+}
+
+// Split implements Splitter: the returned injector shares the site table
+// but draws from a counter-derived RNG stream, enabling deterministic
+// batch-parallel validation of full approximate designs.
+func (p *PerSite) Split(stream uint64) Injector {
+	return NewPerSite(p.params, StreamSeed(p.seed, stream))
 }
 
 // Inject applies the site's configured noise in place.

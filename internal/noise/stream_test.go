@@ -1,0 +1,86 @@
+package noise
+
+import (
+	"testing"
+
+	"redcane/internal/tensor"
+)
+
+func TestStreamSeedDeterministicAndDistinct(t *testing.T) {
+	if StreamSeed(5, 1, 2, 3) != StreamSeed(5, 1, 2, 3) {
+		t.Fatal("StreamSeed not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for pi := uint64(0); pi < 10; pi++ {
+		for trial := uint64(0); trial < 4; trial++ {
+			for batch := uint64(0); batch < 8; batch++ {
+				s := StreamSeed(42, pi, trial, batch)
+				if seen[s] {
+					t.Fatalf("collision at (%d,%d,%d)", pi, trial, batch)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	// Counter position matters: (1,2) and (2,1) must differ.
+	if StreamSeed(0, 1, 2) == StreamSeed(0, 2, 1) {
+		t.Fatal("StreamSeed ignores counter order")
+	}
+}
+
+func TestGaussianSplitDeterministic(t *testing.T) {
+	base := NewGaussian(0.2, 0.1, ForGroup(MACOutputs), 7)
+	site := Site{Layer: "L", Group: MACOutputs}
+	run := func(inj Injector) []float64 {
+		x := tensor.New(64).FillUniform(tensor.NewRNG(1), 0, 1)
+		return inj.Inject(site, x).Data
+	}
+	a := run(base.Split(3))
+	b := run(base.Split(3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal streams not bit-identical")
+		}
+	}
+	c := run(base.Split(4))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct streams produced identical noise")
+	}
+}
+
+func TestGaussianSplitPreservesConfig(t *testing.T) {
+	base := NewGaussian(0.2, 0, ForGroup(Softmax), 7)
+	base.RangeFn = func(x *tensor.Tensor) float64 { return 1 }
+	child := base.Split(0).(*Gaussian)
+	if child.NM != base.NM || child.NA != base.NA || child.RangeFn == nil {
+		t.Fatalf("Split lost configuration: %+v", child)
+	}
+	// The filter must carry over: a MAC site stays untouched.
+	x := tensor.New(8).Fill(1)
+	child.Inject(Site{Layer: "L", Group: MACOutputs}, x)
+	for _, v := range x.Data {
+		if v != 1 {
+			t.Fatal("Split child injected on a filtered-out site")
+		}
+	}
+}
+
+func TestNoneAndPerSiteAreSplitters(t *testing.T) {
+	var _ Splitter = None{}
+	var _ Splitter = NewPerSite(nil, 1)
+	ps := NewPerSite(map[Site]Params{{Layer: "A", Group: MACOutputs}: {NM: 0.5}}, 9)
+	site := Site{Layer: "A", Group: MACOutputs}
+	x1 := ps.Split(2).Inject(site, tensor.New(16).Fill(1))
+	x2 := ps.Split(2).Inject(site, tensor.New(16).Fill(1))
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatal("PerSite equal streams differ")
+		}
+	}
+}

@@ -3,14 +3,14 @@ package tensor
 import "fmt"
 
 // ConvSpec describes a 2D convolution: kernel size, stride and symmetric
-// zero padding. Tensors use NCHW layout.
+// zero padding. Tensors use NCHW layout. Grouped convolution is not
+// supported.
 type ConvSpec struct {
-	KH, KW   int // kernel height and width
-	Stride   int // same stride for both spatial dims
-	Pad      int // symmetric zero padding
-	OutCh    int // number of output channels
-	InCh     int // number of input channels (must match the input tensor)
-	UseGroup int // reserved: 1 means ungrouped; only 1 is supported
+	KH, KW int // kernel height and width
+	Stride int // same stride for both spatial dims
+	Pad    int // symmetric zero padding
+	OutCh  int // number of output channels
+	InCh   int // number of input channels (must match the input tensor)
 }
 
 // OutSize returns the spatial output size for an input of size h×w.
@@ -24,12 +24,19 @@ func (c ConvSpec) OutSize(h, w int) (oh, ow int) {
 // [N*OH*OW, C*KH*KW] so that convolution becomes a matrix product with the
 // flattened kernel. Out-of-bounds (padding) positions contribute zeros.
 func Im2Col(x *Tensor, spec ConvSpec) *Tensor {
+	return Im2ColScratch(x, spec, nil)
+}
+
+// Im2ColScratch is Im2Col with the column matrix taken from an optional
+// scratch arena (nil allocates fresh). Every element is written, so a
+// recycled buffer needs no zeroing.
+func Im2ColScratch(x *Tensor, spec ConvSpec, s *Scratch) *Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if c != spec.InCh {
 		panic(fmt.Sprintf("tensor: Im2Col input channels %d != spec.InCh %d", c, spec.InCh))
 	}
 	oh, ow := spec.OutSize(h, w)
-	cols := New(n*oh*ow, c*spec.KH*spec.KW)
+	cols := s.Take(n*oh*ow, c*spec.KH*spec.KW)
 	row := 0
 	for b := 0; b < n; b++ {
 		base := b * c * h * w
@@ -101,6 +108,15 @@ func Col2Im(cols *Tensor, n, c, h, w int, spec ConvSpec) *Tensor {
 // [OutCh, InCh, KH, KW] plus bias b [OutCh] (nil for no bias).
 // The result has shape [N, OutCh, OH, OW].
 func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
+	return Conv2DScratch(x, w, b, stride, pad, nil)
+}
+
+// Conv2DScratch is Conv2D with the im2col and product temporaries taken
+// from (and released back to) an optional scratch arena, so repeated
+// forward passes stop churning the allocator. The returned output tensor
+// is always freshly allocated — it escapes to the caller and must survive
+// arena reuse.
+func Conv2DScratch(x, w, b *Tensor, stride, pad int, s *Scratch) *Tensor {
 	spec := ConvSpec{
 		KH: w.Shape[2], KW: w.Shape[3],
 		Stride: stride, Pad: pad,
@@ -108,11 +124,11 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 	}
 	n, h, wd := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := spec.OutSize(h, wd)
-	cols := Im2Col(x, spec)
+	cols := Im2ColScratch(x, spec, s)
 	// cols: [N*OH*OW, InCh*KH*KW]; kernel matrix: [OutCh, InCh*KH*KW]
 	kmat := w.Reshape(spec.OutCh, spec.InCh*spec.KH*spec.KW)
 	// out rows are per spatial position; produce [N*OH*OW, OutCh] then permute.
-	prod := MatMulT(cols, kmat) // [N*OH*OW, OutCh]
+	prod := MatMulTScratch(cols, kmat, s) // [N*OH*OW, OutCh]
 	out := New(n, spec.OutCh, oh, ow)
 	rows := oh * ow
 	for bIdx := 0; bIdx < n; bIdx++ {
@@ -127,6 +143,7 @@ func Conv2D(x, w, b *Tensor, stride, pad int) *Tensor {
 			}
 		}
 	}
+	s.Release(cols, prod)
 	return out
 }
 

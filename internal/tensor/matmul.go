@@ -35,12 +35,19 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulT returns a·bᵀ for a [M, K] and b [N, K].
 // This layout is cache-friendly for conv kernels stored as [OutCh, K].
 func MatMulT(a, b *Tensor) *Tensor {
+	return MatMulTScratch(a, b, nil)
+}
+
+// MatMulTScratch is MatMulT with the output taken from an optional scratch
+// arena (nil allocates fresh). Every output element is overwritten, so a
+// recycled buffer needs no zeroing.
+func MatMulTScratch(a, b *Tensor, s *Scratch) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
+	out := s.Take(m, n)
 	parallelRows(m, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			arow := a.Data[i*k : (i+1)*k]

@@ -1,0 +1,70 @@
+package tensor
+
+// Scratch is a grow-only arena of reusable float64 buffers for the
+// convolution kernels. Repeated forward passes (the ReD-CaNe noise sweeps
+// re-run inference thousands of times) spend a measurable fraction of
+// their time allocating and garbage-collecting the im2col and product
+// matrices; a Scratch lets those temporaries be recycled across calls.
+//
+// Buffers are pooled by exact length, so steady-state workloads (fixed
+// batch and layer shapes) stop allocating entirely after the first pass.
+// A nil *Scratch is valid everywhere and falls back to fresh allocation,
+// so call sites can thread an optional arena without branching.
+//
+// A Scratch is NOT safe for concurrent use; give each worker goroutine
+// its own.
+type Scratch struct {
+	free map[int][][]float64
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch {
+	return &Scratch{free: make(map[int][][]float64)}
+}
+
+// take returns a buffer of length n, recycled when possible. The contents
+// are undefined.
+func (s *Scratch) take(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	if bufs := s.free[n]; len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		s.free[n] = bufs[:len(bufs)-1]
+		return buf
+	}
+	return make([]float64, n)
+}
+
+// Take returns a tensor of the given shape backed by a recycled buffer.
+// The contents are UNDEFINED — use TakeZero when the caller accumulates
+// into the tensor rather than overwriting every element.
+func (s *Scratch) Take(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: s.take(n)}
+}
+
+// TakeZero is Take with the buffer cleared to zero.
+func (s *Scratch) TakeZero(shape ...int) *Tensor {
+	t := s.Take(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// Release returns tensors' buffers to the arena for reuse. The tensors
+// (and any views sharing their buffers) must not be used afterwards.
+// Releasing to a nil Scratch is a no-op.
+func (s *Scratch) Release(ts ...*Tensor) {
+	if s == nil {
+		return
+	}
+	for _, t := range ts {
+		if t == nil || len(t.Data) == 0 {
+			continue
+		}
+		n := len(t.Data)
+		s.free[n] = append(s.free[n], t.Data)
+	}
+}

@@ -1,0 +1,73 @@
+package tensor
+
+import "testing"
+
+func TestScratchReusesBuffers(t *testing.T) {
+	s := NewScratch()
+	a := s.Take(4, 8)
+	buf := a.Data
+	for i := range buf {
+		buf[i] = 3
+	}
+	s.Release(a)
+	b := s.Take(8, 4) // same length, different shape → same backing buffer
+	if &b.Data[0] != &buf[0] {
+		t.Fatal("Take after Release did not recycle the buffer")
+	}
+	c := s.Take(8, 4) // pool empty again → fresh buffer
+	if &c.Data[0] == &buf[0] {
+		t.Fatal("second Take handed out a buffer still in use")
+	}
+	z := s.TakeZero(4, 8)
+	for i, v := range z.Data {
+		if v != 0 {
+			t.Fatalf("TakeZero[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestScratchNilIsValid(t *testing.T) {
+	var s *Scratch
+	a := s.Take(2, 3)
+	if a.Len() != 6 {
+		t.Fatalf("nil Take len = %d", a.Len())
+	}
+	s.Release(a) // no-op
+	if z := s.TakeZero(3); z.Len() != 3 {
+		t.Fatal("nil TakeZero")
+	}
+}
+
+func TestConv2DScratchMatchesConv2D(t *testing.T) {
+	x := New(2, 3, 7, 7).FillNormal(NewRNG(1), 0, 1)
+	w := New(4, 3, 3, 3).FillNormal(NewRNG(2), 0, 1)
+	b := New(4).FillUniform(NewRNG(3), -1, 1)
+	want := Conv2D(x, w, b, 2, 1)
+	s := NewScratch()
+	for rep := 0; rep < 3; rep++ { // repeated calls exercise buffer reuse
+		got := Conv2DScratch(x, w, b, 2, 1, s)
+		if !got.SameShape(want) {
+			t.Fatalf("shape %v vs %v", got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("rep %d: element %d = %g, want %g", rep, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTScratchMatches(t *testing.T) {
+	a := New(65, 9).FillNormal(NewRNG(4), 0, 1) // >64 rows → parallel path
+	b := New(5, 9).FillNormal(NewRNG(5), 0, 1)
+	want := MatMulT(a, b)
+	s := NewScratch()
+	prev := s.Take(65, 5).Fill(123)
+	s.Release(prev) // poison the pool with a dirty same-size buffer
+	got := MatMulTScratch(a, b, s)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d = %g, want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
