@@ -14,29 +14,43 @@
 //	                          table4 fig4 fig5 fig6 fig9 fig10 fig11 fig12,
 //	                          ablation-routing ablation-lut ablation-na, or all
 //	design [benchmark]        run the 6-step methodology (default capsnet-mnist-like)
+//	refine [benchmark]        design plus the validate-and-repair refinement loop
 //	characterize [component]  error profiles of one or all library multipliers
 //	energy                    the energy analysis bundle (table1 + fig4 + fig5)
 //	list                      list benchmarks and experiment ids
 //
 // Flags:
 //
-//	-dir      weight-cache directory (default .redcane-cache)
-//	-quick    reduced dataset/epoch/evaluation sizes
-//	-seed     master seed (default 42)
-//	-workers  sweep-engine evaluation goroutines (default GOMAXPROCS);
-//	          results are bit-identical for any worker count
+//	-dir        weight-cache directory (default .redcane-cache)
+//	-quick      reduced dataset/epoch/evaluation sizes
+//	-seed       master seed (default 42)
+//	-workers    sweep-engine evaluation goroutines (default GOMAXPROCS);
+//	            results are bit-identical for any worker count
+//	-csv        also write machine-readable CSVs into this directory
+//	-json       write the design report as JSON to this file (design/refine)
+//	-v          shorthand for -log-level info
+//	-log-level  event verbosity: debug, info, warn (default), error, off
+//	-metrics    write a JSON telemetry snapshot (counters/gauges/timers:
+//	            cache hit rates, per-layer forward timings, worker
+//	            utilization) to this file on exit
+//	-pprof      serve net/http/pprof on this address (e.g. localhost:6060)
+//	-cpuprofile write a CPU profile to this file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"redcane/internal/approx"
 	"redcane/internal/core"
 	"redcane/internal/experiments"
+	"redcane/internal/obs"
 )
 
 func main() {
@@ -46,46 +60,138 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep-engine evaluation goroutines (0 = GOMAXPROCS); never affects results")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	jsonPath := flag.String("json", "", "write the design report as JSON to this file (design/refine)")
-	verbose := flag.Bool("v", false, "log progress (training, sweep stages) to stderr")
+	verbose := flag.Bool("v", false, "shorthand for -log-level info")
+	logLevel := flag.String("log-level", "", "event verbosity: debug|info|warn|error|off (default warn)")
+	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers}
-	if *verbose {
-		cfg.Log = os.Stderr
-	}
-	r := experiments.NewRunner(cfg)
-	ctx := &cli{runner: r, csvDir: *csvDir, jsonPath: *jsonPath}
-	if err := ctx.run(os.Stdout, flag.Arg(0), flag.Args()[1:]); err != nil {
+	o, err := buildObs(*logLevel, *verbose, *metricsPath != "" || *pprofAddr != "" || *cpuProfile != "")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "redcane:", err)
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		addr := *pprofAddr
+		o.Info("pprof server listening", obs.F("addr", addr))
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				o.Warn("pprof server failed", obs.F("addr", addr), obs.F("err", err))
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "redcane:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "redcane:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiments.Config{Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers, Obs: o}
+	r := experiments.NewRunner(cfg)
+	ctx := &cli{runner: r, obs: o, csvDir: *csvDir, jsonPath: *jsonPath}
+	runErr := ctx.run(os.Stdout, flag.Arg(0), flag.Args()[1:])
+
+	// Flush the profile and snapshot even when the command failed: a
+	// partial run's telemetry is exactly what debugs the failure.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(o, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "redcane:", err)
+			if runErr == nil {
+				os.Exit(1)
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "redcane:", runErr)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: redcane [-dir cache] [-quick] [-seed n] [-workers n] <command>
+// buildObs resolves the -log-level / -v flags into the process Obs.
+// Level off with no metrics consumer yields a nil Obs — the fully
+// disabled zero-cost path.
+func buildObs(logLevel string, verbose, needMetrics bool) (*obs.Obs, error) {
+	level := obs.Warn
+	if verbose {
+		level = obs.Info
+	}
+	if logLevel != "" {
+		var err error
+		if level, err = obs.ParseLevel(logLevel); err != nil {
+			return nil, err
+		}
+	}
+	if level == obs.Off && !needMetrics {
+		return nil, nil
+	}
+	return obs.New(level, obs.NewTextSink(os.Stderr)), nil
+}
+
+// writeMetrics persists the end-of-run metrics snapshot.
+func writeMetrics(o *obs.Obs, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return o.Metrics().Snapshot().WriteJSON(f)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: redcane [flags] <command> [args]
 
 commands:
   train                     train (or load) all benchmarks, print Table II
   experiment <id> | all     table1..table4, fig4..fig6, fig9..fig12,
-                            ablation-routing, ablation-lut, ablation-na
+                            ablation-routing, ablation-lut, ablation-na,
+                            ablation-faults, ablation-selection,
+                            ablation-range, stability, accel
   design [benchmark]        full 6-step methodology (see 'list')
+  refine [benchmark]        design + validate-and-repair refinement loop
   characterize [component]  multiplier error profiles
   energy                    table1 + fig4 + fig5
-  list                      benchmarks and experiment ids`)
+  list                      benchmarks and experiment ids
+
+flags:
+  -dir cache     weight-cache directory (default .redcane-cache)
+  -quick         reduced dataset/epoch/evaluation sizes
+  -seed n        master seed (default 42)
+  -workers n     sweep-engine goroutines (default GOMAXPROCS); results
+                 are bit-identical for any worker count
+  -csv dir       also write machine-readable CSVs into this directory
+  -json file     write the design report as JSON (design/refine)
+  -v             shorthand for -log-level info
+  -log-level l   event verbosity: debug|info|warn|error|off (default warn)
+  -metrics file  write a JSON telemetry snapshot on exit
+  -pprof addr    serve net/http/pprof on this address
+  -cpuprofile f  write a CPU profile to this file`)
 }
 
 // cli bundles the runner with output options.
 type cli struct {
 	runner   *experiments.Runner
+	obs      *obs.Obs
 	csvDir   string
 	jsonPath string
 }
 
 func (c *cli) run(w io.Writer, cmd string, args []string) error {
+	sp := c.obs.StartSpan("command."+cmd, obs.F("args", args))
+	defer sp.End()
 	r := c.runner
 	switch cmd {
 	case "train":
@@ -153,7 +259,7 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 		fmt.Fprintln(w, "extensions:  accel (system-level energy), stability (seed error bars)")
 		return nil
 	default:
-		usage()
+		usage(os.Stderr)
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
@@ -187,6 +293,8 @@ func (c *cli) runExperiments(w io.Writer, id string) error {
 		return nil
 	}
 
+	sp := c.obs.StartSpan("experiment." + id)
+	defer sp.End()
 	var res renderer
 	var err error
 	switch id {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"redcane/internal/experiments"
+	"redcane/internal/obs"
 )
 
 func testCLI(t *testing.T) *cli {
@@ -84,6 +86,88 @@ func TestFindBenchmark(t *testing.T) {
 	}
 	if _, ok := findBenchmark("x"); ok {
 		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestUsageDocumentsAllCommandsAndFlags(t *testing.T) {
+	var b strings.Builder
+	usage(&b)
+	out := b.String()
+	for _, want := range []string{
+		"train", "experiment", "design", "refine", "characterize", "energy", "list",
+		"-dir", "-quick", "-seed", "-workers", "-csv", "-json", "-v",
+		"-log-level", "-metrics", "-pprof", "-cpuprofile",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage missing %q", want)
+		}
+	}
+}
+
+func TestBuildObsLevels(t *testing.T) {
+	cases := []struct {
+		logLevel string
+		verbose  bool
+		metrics  bool
+		wantNil  bool
+		want     obs.Level
+	}{
+		{"", false, false, false, obs.Warn},      // default
+		{"", true, false, false, obs.Info},       // -v
+		{"debug", true, false, false, obs.Debug}, // explicit beats -v
+		{"off", false, false, true, 0},           // fully disabled
+		{"off", false, true, false, obs.Off},     // metrics keep Obs alive
+	}
+	for _, c := range cases {
+		o, err := buildObs(c.logLevel, c.verbose, c.metrics)
+		if err != nil {
+			t.Fatalf("buildObs(%q, %v, %v): %v", c.logLevel, c.verbose, c.metrics, err)
+		}
+		if (o == nil) != c.wantNil {
+			t.Errorf("buildObs(%q, %v, %v) nil = %v, want %v",
+				c.logLevel, c.verbose, c.metrics, o == nil, c.wantNil)
+			continue
+		}
+		if o != nil && o.Level() != c.want {
+			t.Errorf("buildObs(%q, %v, %v) level = %v, want %v",
+				c.logLevel, c.verbose, c.metrics, o.Level(), c.want)
+		}
+	}
+	if _, err := buildObs("bogus", false, false); err == nil {
+		t.Error("expected error for invalid -log-level")
+	}
+}
+
+func TestWriteMetricsSnapshot(t *testing.T) {
+	o := obs.New(obs.Off, nil)
+	o.Counter("sweep.jobs").Add(7)
+	o.Gauge("sweep.workers.utilization").Set(0.5)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := writeMetrics(o, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if snap.Counters["sweep.jobs"] != 7 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["sweep.workers.utilization"] != 0.5 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	// A nil Obs still writes a parseable (empty) snapshot.
+	path2 := filepath.Join(t.TempDir(), "empty.json")
+	if err := writeMetrics(nil, path2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path2)
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("empty snapshot malformed: %v\n%s", err, data)
 	}
 }
 

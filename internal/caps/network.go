@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"redcane/internal/energy"
 	"redcane/internal/noise"
+	"redcane/internal/obs"
 	"redcane/internal/tensor"
 )
 
@@ -91,6 +93,13 @@ type Network struct {
 	// InputShape is [channels, height, width] of a single sample.
 	InputShape []int
 	Layers     []Layer
+	// Obs, when non-nil, receives per-layer forward wall time and
+	// invocation counts under "caps.forward.<kind>.<layer>" timers, where
+	// kind is "full" (whole-network pass), "prefix" (clean-prefix half of
+	// a split pass) or "suffix" (replay from a cached prefix). Set it
+	// before concurrent use; timing never alters numerical results, and a
+	// nil Obs costs one branch per forward pass.
+	Obs *obs.Obs
 }
 
 // Name returns the network's name.
@@ -117,15 +126,35 @@ func forwardLayer(l Layer, x *tensor.Tensor, inj noise.Injector, s *tensor.Scrat
 	return l.Forward(x, inj)
 }
 
-// forwardRange runs layers [lo, hi) on x under inj with scratch s.
-func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+// forwardRange runs layers [lo, hi) on x under inj with scratch s. kind
+// labels the pass for telemetry ("full", "prefix" or "suffix"); with a
+// nil Obs the timed path is skipped entirely.
+func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, kind string) *tensor.Tensor {
 	if inj == nil {
 		inj = noise.None{}
 	}
+	o := n.Obs
+	if o == nil {
+		for _, l := range n.Layers[lo:hi] {
+			x = forwardLayer(l, x, inj, s)
+		}
+		return x
+	}
 	for _, l := range n.Layers[lo:hi] {
+		t0 := time.Now()
 		x = forwardLayer(l, x, inj, s)
+		o.Timer("caps.forward." + kind + "." + l.Name()).Observe(time.Since(t0))
 	}
 	return x
+}
+
+// forwardKind labels a suffix pass: replaying from boundary 0 is just a
+// full forward.
+func forwardKind(k int) string {
+	if k == 0 {
+		return "full"
+	}
+	return "suffix"
 }
 
 // Forward runs all layers under the given injector. Pass noise.None{} for
@@ -133,7 +162,7 @@ func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector,
 func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
 	s := scratchPool.Get().(*tensor.Scratch)
 	defer scratchPool.Put(s)
-	return n.forwardRange(0, len(n.Layers), x, inj, s)
+	return n.forwardRange(0, len(n.Layers), x, inj, s, "full")
 }
 
 // ForwardTo runs only the prefix layers [0, k) — the clean-prefix half of
@@ -143,7 +172,7 @@ func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
 func (n *Network) ForwardTo(k int, x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
 	s := scratchPool.Get().(*tensor.Scratch)
 	defer scratchPool.Put(s)
-	return n.forwardRange(0, k, x, inj, s)
+	return n.forwardRange(0, k, x, inj, s, "prefix")
 }
 
 // ForwardFrom runs the suffix layers [k, len(Layers)) on x, which must be
@@ -159,7 +188,7 @@ func (n *Network) ForwardFrom(k int, x *tensor.Tensor, inj noise.Injector) *tens
 // ForwardFromScratch is ForwardFrom with a caller-owned scratch arena,
 // for worker loops that evaluate many batches back to back.
 func (n *Network) ForwardFromScratch(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	return n.forwardRange(k, len(n.Layers), x, inj, s)
+	return n.forwardRange(k, len(n.Layers), x, inj, s, forwardKind(k))
 }
 
 // InjectionFrontier returns the index of the first layer owning an

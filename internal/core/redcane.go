@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"redcane/internal/approx"
 	"redcane/internal/caps"
 	"redcane/internal/datasets"
 	"redcane/internal/noise"
+	"redcane/internal/obs"
 	"redcane/internal/tensor"
 )
 
@@ -152,6 +154,12 @@ type Analyzer struct {
 	Net  *caps.Network
 	Data *datasets.Dataset
 	Opts Options
+	// Obs, when non-nil, receives the sweep engine's telemetry: structured
+	// progress events (per-group/per-layer sweeps with rates and ETAs) and
+	// the engine metrics (prefix-cache hits/misses, jobs scheduled,
+	// worker-pool busy time, scratch-arena traffic). Telemetry never
+	// alters results; a nil Obs disables it at the cost of one branch.
+	Obs *obs.Obs
 
 	sites  map[noise.Group][]noise.Site // Step 1 cache
 	pcache *prefixCache                 // sweep engine's whole-set clean-prefix cache
@@ -208,6 +216,13 @@ func toleratedNM(points []SweepPoint, threshold float64) float64 {
 func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
 	o := a.Opts
 	groups := a.ExtractGroups()
+	total := 0
+	for _, g := range noise.Groups() {
+		if len(groups[g]) > 0 {
+			total++
+		}
+	}
+	start := time.Now()
 	// Stable order: Table III order, skipping absent groups.
 	var out []GroupResult
 	var tols []float64
@@ -219,6 +234,8 @@ func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
 		tol := toleratedNM(pts, o.Threshold)
 		tols = append(tols, tol)
 		out = append(out, GroupResult{Group: g, Points: pts, ToleratedNM: tol})
+		a.progress("group sweep done", g.String(), len(out), total, start,
+			obs.F("tolerated_nm", tol))
 	}
 	// Step 3: a group is resilient when it tolerates strictly more noise
 	// than the median group (or the entire sweep).
@@ -236,6 +253,13 @@ func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
 func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerResult {
 	o := a.Opts
 	sitesByGroup := a.ExtractGroups()
+	total := 0
+	for _, gr := range groups {
+		if !gr.Resilient {
+			total += len(sitesByGroup[gr.Group])
+		}
+	}
+	began := time.Now()
 	var out []LayerResult
 	for gi, gr := range groups {
 		if gr.Resilient {
@@ -252,6 +276,8 @@ func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerRes
 				Layer: site.Layer, Group: gr.Group,
 				Points: pts, ToleratedNM: tol,
 			})
+			a.progress("layer sweep done", site.Layer+"/"+gr.Group.String(),
+				len(out), total, began, obs.F("tolerated_nm", tol))
 		}
 		// Step 5: mark layers at or above their group's median tolerance.
 		med := median(tols)
@@ -260,6 +286,26 @@ func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerRes
 		}
 	}
 	return out
+}
+
+// progress emits one info-level progress line for a finished sweep,
+// with the engine's evaluation rate and the ETA for the remaining sweeps
+// of the current analysis step.
+func (a *Analyzer) progress(msg, target string, done, total int, start time.Time, extra ...obs.Field) {
+	if !a.Obs.Enabled(obs.Info) {
+		return
+	}
+	fields := []obs.Field{
+		obs.F("target", target),
+		obs.F("progress", fmt.Sprintf("%d/%d", done, total)),
+		obs.F("jobs_per_sec", fmt.Sprintf("%.1f", a.Obs.Gauge("sweep.last_jobs_per_sec").Value())),
+	}
+	if done > 0 && done < total {
+		elapsed := time.Since(start)
+		eta := elapsed / time.Duration(done) * time.Duration(total-done)
+		fields = append(fields, obs.F("eta", eta.Round(time.Second)))
+	}
+	a.Obs.Info(msg, append(fields, extra...)...)
 }
 
 func median(vs []float64) float64 {
@@ -369,11 +415,19 @@ func NewPerSiteInjector(choices []Choice, seed uint64) *noise.PerSite {
 // Run executes the full 6-step methodology and assembles the report.
 func (a *Analyzer) Run(profiles []ComponentProfile) *Report {
 	a.Opts = a.Opts.WithDefaults()
+	run := a.Obs.StartSpan("methodology.run",
+		obs.F("network", a.Net.Name()), obs.F("dataset", a.Data.Name))
 	x, y := a.evalData()
+	sp := a.Obs.StartSpan("methodology.clean_eval")
 	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
+	sp.End()
 
+	sp = a.Obs.StartSpan("methodology.groups")
 	groups := a.AnalyzeGroups(clean)
+	sp.End()
+	sp = a.Obs.StartSpan("methodology.layers")
 	layers := a.AnalyzeLayers(groups, clean)
+	sp.End()
 	choices := a.SelectComponents(groups, layers, profiles)
 
 	// Predicted multiplier-energy saving, weighted by per-layer MAC ops.
@@ -393,7 +447,10 @@ func (a *Analyzer) Run(profiles []ComponentProfile) *Report {
 	}
 
 	inj := NewPerSiteInjector(choices, a.Opts.Seed+777)
+	sp = a.Obs.StartSpan("methodology.validate")
 	validated := caps.Accuracy(a.Net, x, y, inj, a.Opts.Batch)
+	sp.End()
+	run.End()
 
 	return &Report{
 		Network:           a.Net.Name(),

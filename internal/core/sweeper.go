@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"redcane/internal/noise"
+	"redcane/internal/obs"
 	"redcane/internal/tensor"
 )
 
@@ -59,34 +62,82 @@ func (o Options) sweepWorkers() int {
 // goroutines, handing each worker a private scratch arena. fn must write
 // only to its own job's result slot; under that contract the outcome is
 // independent of scheduling.
-func runJobs(workers, jobs int, fn func(j int, s *tensor.Scratch)) {
+//
+// With a non-nil o, each worker's busy time (wall time spent inside fn)
+// and its scratch arena's traffic are folded into the worker-pool gauges
+// after the pool drains; with a nil o the loop is untouched.
+func runJobs(o *obs.Obs, workers, jobs int, fn func(j int, s *tensor.Scratch)) {
 	if workers > jobs {
 		workers = jobs
 	}
-	if workers <= 1 {
-		s := tensor.NewScratch()
-		for j := 0; j < jobs; j++ {
+	if workers < 1 {
+		workers = 1
+	}
+	m := o.Metrics()
+	var start time.Time
+	var busy []time.Duration
+	if m != nil {
+		start = time.Now()
+		busy = make([]time.Duration, workers)
+	}
+	scratches := make([]*tensor.Scratch, workers)
+	runOn := func(w, j int, s *tensor.Scratch) {
+		if m == nil {
 			fn(j, s)
+			return
 		}
+		t0 := time.Now()
+		fn(j, s)
+		busy[w] += time.Since(t0)
+	}
+	if workers == 1 {
+		s := tensor.NewScratch()
+		scratches[0] = s
+		for j := 0; j < jobs; j++ {
+			runOn(0, j, s)
+		}
+	} else {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := tensor.NewScratch()
+				scratches[w] = s
+				for j := range ch {
+					runOn(w, j, s)
+				}
+			}(w)
+		}
+		for j := 0; j < jobs; j++ {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+	if m == nil {
 		return
 	}
-	ch := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := tensor.NewScratch()
-			for j := range ch {
-				fn(j, s)
-			}
-		}()
+	wall := time.Since(start)
+	var total time.Duration
+	for _, b := range busy {
+		total += b
 	}
-	for j := 0; j < jobs; j++ {
-		ch <- j
+	m.Gauge("sweep.workers.busy_ns").Add(float64(total))
+	m.Gauge("sweep.workers.wall_ns").Add(float64(wall))
+	m.Gauge("sweep.workers.count").Set(float64(workers))
+	if wall > 0 && workers > 0 {
+		m.Gauge("sweep.workers.utilization").Set(float64(total) / (float64(wall) * float64(workers)))
 	}
-	close(ch)
-	wg.Wait()
+	var st tensor.ScratchStats
+	for _, s := range scratches {
+		st = st.Plus(s.Stats())
+	}
+	m.Gauge("tensor.scratch.takes").Add(float64(st.Takes))
+	m.Gauge("tensor.scratch.reuses").Add(float64(st.Reuses))
+	m.Gauge("tensor.scratch.allocs").Add(float64(st.Allocs))
+	m.Gauge("tensor.scratch.alloc_bytes").Add(float64(st.AllocBytes))
 }
 
 // prefixBytesPerBatch estimates the byte size of one batch's clean
@@ -141,6 +192,7 @@ func (a *Analyzer) prefixActivations(frontier int, x *tensor.Tensor, b0, b1, nb 
 
 	acts := make([]*tensor.Tensor, b1-b0)
 	if frontier == 0 {
+		a.Obs.Counter("sweep.prefix_cache.bypass").Inc()
 		for bi := b0; bi < b1; bi++ {
 			acts[bi-b0] = view(bi)
 		}
@@ -148,13 +200,22 @@ func (a *Analyzer) prefixActivations(frontier int, x *tensor.Tensor, b0, b1, nb 
 	}
 	whole := b0 == 0 && b1 == nb
 	if whole && a.pcache != nil && a.pcache.frontier == frontier {
+		a.Obs.Counter("sweep.prefix_cache.hits").Inc()
 		return a.pcache.acts
 	}
-	runJobs(a.Opts.sweepWorkers(), b1-b0, func(j int, _ *tensor.Scratch) {
+	a.Obs.Counter("sweep.prefix_cache.misses").Inc()
+	runJobs(a.Obs, a.Opts.sweepWorkers(), b1-b0, func(j int, _ *tensor.Scratch) {
 		acts[j] = a.Net.ForwardTo(frontier, view(b0+j), noise.None{})
 	})
 	if whole {
 		a.pcache = &prefixCache{frontier: frontier, acts: acts}
+		var bytes int64
+		for _, t := range acts {
+			bytes += 8 * int64(len(t.Data))
+		}
+		a.Obs.Gauge("sweep.prefix_cache.retained_bytes").Set(float64(bytes))
+		a.Obs.Debug("prefix cache retained",
+			obs.F("frontier", frontier), obs.F("batches", len(acts)), obs.F("bytes", bytes))
 	}
 	return acts
 }
@@ -191,6 +252,11 @@ func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []
 
 	correct := make([]int, len(evals)) // per (point, trial), summed over batches
 	window := a.prefixWindow(frontier, nb)
+	start := time.Now()
+	totalJobs := len(evals) * nb
+	doneJobs := 0
+	a.Obs.Counter("sweep.sweeps").Inc()
+	a.Obs.Counter("sweep.jobs").Add(int64(totalJobs))
 	for b0 := 0; b0 < nb; b0 += window {
 		b1 := b0 + window
 		if b1 > nb {
@@ -201,7 +267,7 @@ func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []
 		// One job per (point, trial, batch); each job owns its result slot.
 		nbw := b1 - b0
 		jobCorrect := make([]int, len(evals)*nbw)
-		runJobs(o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
+		runJobs(a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
 			e := evals[j/nbw]
 			bi := b0 + j%nbw
 			nm := o.NMSweep[e.pi]
@@ -220,6 +286,25 @@ func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []
 		for j, c := range jobCorrect {
 			correct[j/nbw] += c
 		}
+		doneJobs += len(jobCorrect)
+		if a.Obs.Enabled(obs.Debug) && doneJobs < totalJobs {
+			elapsed := time.Since(start)
+			rate := float64(doneJobs) / elapsed.Seconds()
+			eta := time.Duration(float64(totalJobs-doneJobs) / rate * float64(time.Second))
+			a.Obs.Debug("sweep progress",
+				obs.F("jobs", fmt.Sprintf("%d/%d", doneJobs, totalJobs)),
+				obs.F("jobs_per_sec", fmt.Sprintf("%.1f", rate)),
+				obs.F("eta", eta.Round(time.Second)))
+		}
+	}
+	if dur := time.Since(start); totalJobs > 0 {
+		a.Obs.Timer("sweep.duration").Observe(dur)
+		rate := float64(totalJobs) / dur.Seconds()
+		a.Obs.Gauge("sweep.last_jobs_per_sec").Set(rate)
+		a.Obs.Debug("sweep complete",
+			obs.F("frontier", frontier), obs.F("jobs", totalJobs),
+			obs.F("dur", dur.Round(time.Millisecond)),
+			obs.F("jobs_per_sec", fmt.Sprintf("%.1f", rate)))
 	}
 
 	points := make([]SweepPoint, len(o.NMSweep))

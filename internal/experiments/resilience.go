@@ -65,7 +65,7 @@ func (r *Runner) Table3() (*Table3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &core.Analyzer{Net: t.Net, Data: t.Data, Opts: core.Options{MaxEval: 1}}
+	a := &core.Analyzer{Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: core.Options{MaxEval: 1}}
 	byGroup := a.ExtractGroups()
 	var out Table3Result
 	for _, g := range noise.Groups() {
@@ -100,7 +100,7 @@ func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
 		return nil, err
 	}
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data,
+		Net: t.Net, Data: t.Data, Obs: r.obs(),
 		Opts: core.Options{
 			NMSweep:   core.PaperNMSweep,
 			Trials:    r.trials(),
@@ -201,7 +201,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 		return nil, err
 	}
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data,
+		Net: t.Net, Data: t.Data, Obs: r.obs(),
 		Opts: core.Options{
 			NMSweep:   core.PaperNMSweep,
 			Trials:    r.trials(),
@@ -260,7 +260,7 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 	profiles := core.ProfileLibrary(
 		approx.EmpiricalDist(fig11.PoolA, fig11.PoolB), 9, samples, r.Cfg.Seed+9)
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data,
+		Net: t.Net, Data: t.Data, Obs: r.obs(),
 		Opts: core.Options{
 			Trials:    r.trials(),
 			Batch:     32,
@@ -285,7 +285,7 @@ func (r *Runner) RefineDesign(b Benchmark, d *DesignResult) (core.RefineResult, 
 		return core.RefineResult{}, err
 	}
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data,
+		Net: t.Net, Data: t.Data, Obs: r.obs(),
 		Opts: core.Options{
 			Trials:    r.trials(),
 			Batch:     32,

@@ -11,12 +11,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"time"
 
 	"redcane/internal/caps"
 	"redcane/internal/datasets"
 	"redcane/internal/models"
 	"redcane/internal/noise"
+	"redcane/internal/obs"
 	"redcane/internal/params"
 	"redcane/internal/tensor"
 	"redcane/internal/train"
@@ -31,8 +31,13 @@ type Config struct {
 	Quick bool
 	// Seed drives dataset synthesis, weight init and noise.
 	Seed uint64
-	// Log, when non-nil, receives progress lines (training starts,
-	// sweep stages) — useful during the multi-minute full-mode runs.
+	// Obs, when non-nil, receives the runner's telemetry: structured
+	// progress events (training phases, sweep stages with rates and ETAs)
+	// and the engine/per-layer metrics. Telemetry never alters results.
+	Obs *obs.Obs
+	// Log is the legacy progress hook: when set and Obs is nil, NewRunner
+	// bridges it to an info-level text-event Obs writing to this writer.
+	// Prefer Obs.
 	Log io.Writer
 	// Workers bounds the sweep engine's evaluation goroutines
 	// (0 = runtime.GOMAXPROCS(0)); results are identical for any value.
@@ -79,16 +84,14 @@ type Runner struct {
 
 // NewRunner returns a Runner for the given config.
 func NewRunner(cfg Config) *Runner {
+	if cfg.Obs == nil && cfg.Log != nil {
+		cfg.Obs = obs.New(obs.Info, obs.NewTextSink(cfg.Log))
+	}
 	return &Runner{Cfg: cfg, cache: map[string]*Trained{}}
 }
 
-// logf emits a progress line when logging is enabled.
-func (r *Runner) logf(format string, args ...any) {
-	if r.Cfg.Log == nil {
-		return
-	}
-	fmt.Fprintf(r.Cfg.Log, format+"\n", args...)
-}
+// obs returns the runner's telemetry handle (nil-safe everywhere).
+func (r *Runner) obs() *obs.Obs { return r.Cfg.Obs }
 
 func (r *Runner) splitSizes() (trainN, testN int) {
 	if r.Cfg.Quick {
@@ -169,7 +172,9 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 	if t, ok := r.cache[key]; ok {
 		return t, nil
 	}
+	sp := r.obs().StartSpan("train.dataset", obs.F("dataset", b.Dataset))
 	ds, err := r.dataset(b.Dataset)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +196,7 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 		cachePath = filepath.Join(r.Cfg.Dir, fmt.Sprintf("%s-%s-seed%d.gob", key, mode, r.Cfg.Seed))
 		if store, err := params.Load(cachePath); err == nil {
 			if err := store.LoadInto(net.Params()); err == nil {
+				r.obs().Debug("weight cache hit", obs.F("benchmark", key), obs.F("path", cachePath))
 				t := r.finish(b, net, ds)
 				r.cache[key] = t
 				return t, nil
@@ -198,8 +204,9 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 		}
 	}
 
-	r.logf("training %s (%d samples, %d epochs)...", key, ds.TrainX.Shape[0], r.epochs(b.Arch))
-	start := time.Now()
+	r.obs().Info("training benchmark", obs.F("benchmark", key),
+		obs.F("samples", ds.TrainX.Shape[0]), obs.F("epochs", r.epochs(b.Arch)))
+	total := r.obs().StartSpan("train.benchmark", obs.F("benchmark", key))
 	m, err := models.BuildTrainer(spec, r.Cfg.Seed+11)
 	if err != nil {
 		return nil, err
@@ -210,30 +217,46 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 		calibN = ds.TrainX.Shape[0]
 	}
 	calib := tensor.NewFrom(ds.TrainX.Data[:calibN*sz], calibN, ds.Channels, ds.H, ds.W)
+	sp = r.obs().StartSpan("train.lsuv", obs.F("benchmark", key))
 	train.LSUVInit(m, calib, 0.5)
+	sp.End()
+	sp = r.obs().StartSpan("train.fit", obs.F("benchmark", key))
 	train.Fit(m, ds, train.Config{
 		Epochs:    r.epochs(b.Arch),
 		BatchSize: 32,
 		LR:        1.5e-3,
 		Seed:      r.Cfg.Seed + 1,
 		GradClip:  5,
+		Log:       r.obs().LineWriter(obs.Debug),
 	})
+	sp.End()
 	store := params.FromParams(m.ParamMap())
 	if err := store.LoadInto(net.Params()); err != nil {
 		return nil, err
 	}
 	if cachePath != "" {
-		if err := os.MkdirAll(r.Cfg.Dir, 0o755); err == nil {
-			_ = store.Save(cachePath) // cache write failures are non-fatal
+		// Cache write failures are non-fatal, but never silent: a broken
+		// cache dir means every future run retrains from scratch.
+		if err := os.MkdirAll(r.Cfg.Dir, 0o755); err != nil {
+			r.obs().Warn("weight-cache dir create failed",
+				obs.F("dir", r.Cfg.Dir), obs.F("err", err))
+		} else if err := store.Save(cachePath); err != nil {
+			r.obs().Warn("weight-cache save failed",
+				obs.F("path", cachePath), obs.F("err", err))
 		}
 	}
 	t := r.finish(b, net, ds)
-	r.logf("trained %s in %s: test accuracy %.2f%%", key, time.Since(start).Round(time.Second), 100*t.TestAcc)
+	total.End()
+	r.obs().Info("trained benchmark", obs.F("benchmark", key),
+		obs.F("test_acc", fmt.Sprintf("%.2f%%", 100*t.TestAcc)))
 	r.cache[key] = t
 	return t, nil
 }
 
 func (r *Runner) finish(b Benchmark, net *caps.Network, ds *datasets.Dataset) *Trained {
+	net.Obs = r.obs()
+	sp := r.obs().StartSpan("train.eval", obs.F("benchmark", b.Key()))
 	acc := caps.Accuracy(net, ds.TestX, ds.TestY, noise.None{}, 32)
+	sp.End()
 	return &Trained{Benchmark: b, Net: net, Data: ds, TestAcc: acc}
 }

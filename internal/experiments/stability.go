@@ -38,7 +38,7 @@ func (r *Runner) Stability(b Benchmark, n int) (*StabilityResult, error) {
 	holds := 0
 	for s := 0; s < n; s++ {
 		a := &core.Analyzer{
-			Net: t.Net, Data: t.Data,
+			Net: t.Net, Data: t.Data, Obs: r.obs(),
 			Opts: core.Options{
 				Trials:    1,
 				Batch:     32,

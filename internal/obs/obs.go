@@ -1,0 +1,221 @@
+// Package obs is the telemetry substrate of the repository: structured
+// leveled events, lock-cheap counters/gauges/timers, and a deterministic
+// end-of-run metrics snapshot. It replaces the ad-hoc io.Writer logging
+// that used to be threaded through the experiment runner.
+//
+// Two properties are load-bearing for the rest of the stack:
+//
+//   - Zero cost when disabled. A nil *Obs is valid everywhere: every
+//     method no-ops (and allocates nothing), so instrumented code threads
+//     an optional handle without branching. Hot loops that build event
+//     fields should still guard with Enabled to skip field construction.
+//
+//   - Telemetry never alters results. Instrumentation only reads clocks
+//     and bumps atomics; the sweep engine's bit-identical determinism
+//     guarantee is unaffected. Counter values and timer invocation counts
+//     are themselves scheduling-invariant (identical for any worker
+//     count); only durations, gauges and event timestamps reflect
+//     wall-clock reality.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level orders event severities. Off suppresses every event while leaving
+// metric collection active.
+type Level int8
+
+// The levels, least to most severe.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+	Off
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	case Off:
+		return "off"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	for _, l := range []Level{Debug, Info, Warn, Error, Off} {
+		if s == l.String() {
+			return l, nil
+		}
+	}
+	return Off, fmt.Errorf("obs: unknown level %q (want debug|info|warn|error|off)", s)
+}
+
+// Field is one structured key/value attachment of an event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured log record.
+type Event struct {
+	Time   time.Time
+	Level  Level
+	Msg    string
+	Fields []Field
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use.
+type Sink interface {
+	Write(e Event)
+}
+
+// TextSink renders events as single lines ("15:04:05.000 INFO  msg
+// key=value ...") to an io.Writer, serializing concurrent writers.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink wraps w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Write implements Sink.
+func (s *TextSink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "%s %-5s %s", e.Time.Format("15:04:05.000"), e.Level, e.Msg)
+	for _, f := range e.Fields {
+		fmt.Fprintf(s.w, " %s=%v", f.Key, f.Value)
+	}
+	fmt.Fprintln(s.w)
+}
+
+// Obs bundles an event sink with a metrics registry. The zero value is
+// not useful; construct with New. A nil *Obs disables all telemetry.
+type Obs struct {
+	level Level
+	sink  Sink
+	m     *Metrics
+}
+
+// New returns an Obs emitting events at or above level to sink (nil sink
+// suppresses events) with a fresh metrics registry. Metrics are collected
+// whenever the Obs itself is non-nil, regardless of level.
+func New(level Level, sink Sink) *Obs {
+	return &Obs{level: level, sink: sink, m: NewMetrics()}
+}
+
+// Level reports the minimum emitted event level (Off for a nil Obs).
+func (o *Obs) Level() Level {
+	if o == nil {
+		return Off
+	}
+	return o.level
+}
+
+// Enabled reports whether events at level l would be emitted (Off is not
+// an event level and is never enabled). It is the guard hot paths use
+// before building fields.
+func (o *Obs) Enabled(l Level) bool {
+	return o != nil && o.sink != nil && l < Off && l >= o.level
+}
+
+// Event emits one structured event when its level is enabled.
+func (o *Obs) Event(l Level, msg string, fields ...Field) {
+	if !o.Enabled(l) {
+		return
+	}
+	o.sink.Write(Event{Time: time.Now(), Level: l, Msg: msg, Fields: fields})
+}
+
+// Debug emits a debug-level event.
+func (o *Obs) Debug(msg string, fields ...Field) { o.Event(Debug, msg, fields...) }
+
+// Info emits an info-level event.
+func (o *Obs) Info(msg string, fields ...Field) { o.Event(Info, msg, fields...) }
+
+// Warn emits a warn-level event.
+func (o *Obs) Warn(msg string, fields ...Field) { o.Event(Warn, msg, fields...) }
+
+// Error emits an error-level event.
+func (o *Obs) Error(msg string, fields ...Field) { o.Event(Error, msg, fields...) }
+
+// Metrics returns the registry (nil for a nil Obs; all registry methods
+// tolerate that).
+func (o *Obs) Metrics() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.m
+}
+
+// Counter returns the named counter handle (nil, and safe, when o is nil).
+func (o *Obs) Counter(name string) *Counter { return o.Metrics().Counter(name) }
+
+// Gauge returns the named gauge handle (nil, and safe, when o is nil).
+func (o *Obs) Gauge(name string) *Gauge { return o.Metrics().Gauge(name) }
+
+// Timer returns the named timer handle (nil, and safe, when o is nil).
+func (o *Obs) Timer(name string) *Timer { return o.Metrics().Timer(name) }
+
+// LineWriter adapts the Obs to an io.Writer emitting one event per
+// written line at the given level — the bridge for legacy io.Writer
+// logging hooks (e.g. train.Config.Log). It returns nil when the level is
+// disabled, so callers can pass the result straight to an optional-log
+// field.
+func (o *Obs) LineWriter(l Level) io.Writer {
+	if !o.Enabled(l) {
+		return nil
+	}
+	return &lineWriter{o: o, level: l}
+}
+
+// lineWriter buffers partial writes and emits completed lines as events.
+type lineWriter struct {
+	mu    sync.Mutex
+	o     *Obs
+	level Level
+	buf   []byte
+}
+
+// Write implements io.Writer.
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := -1
+		for j, b := range w.buf {
+			if b == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return len(p), nil
+		}
+		line := string(w.buf[:i])
+		w.buf = w.buf[i+1:]
+		if line != "" {
+			w.o.Event(w.level, line)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLevelRoundTrip(t *testing.T) {
+	for _, l := range []Level{Debug, Info, Warn, Error, Off} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Fatalf("ParseLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestEventLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	o := New(Warn, NewTextSink(&b))
+	o.Debug("d")
+	o.Info("i")
+	o.Warn("w", F("k", 7))
+	o.Error("e")
+	out := b.String()
+	if strings.Contains(out, " d") || strings.Contains(out, " i") {
+		t.Fatalf("sub-threshold events emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "w k=7") || !strings.Contains(out, "error e") {
+		t.Fatalf("expected events missing:\n%s", out)
+	}
+	if o.Enabled(Info) || !o.Enabled(Warn) {
+		t.Fatal("Enabled disagrees with level")
+	}
+	off := New(Off, NewTextSink(&b))
+	if off.Enabled(Error) {
+		t.Fatal("Off must suppress every level")
+	}
+}
+
+func TestNilObsIsSafeAndFree(t *testing.T) {
+	var o *Obs
+	// Every entry point must tolerate nil.
+	o.Debug("x")
+	o.Info("x")
+	o.Warn("x")
+	o.Error("x")
+	o.Counter("c").Inc()
+	o.Gauge("g").Set(1)
+	o.Gauge("g").Add(1)
+	o.Timer("t").Observe(time.Second)
+	o.StartSpan("s").End()
+	if o.LineWriter(Info) != nil {
+		t.Fatal("nil obs LineWriter must be nil")
+	}
+	snap := o.Metrics().Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+		t.Fatalf("nil metrics snapshot non-empty: %+v", snap)
+	}
+	// The disabled path is the one threaded through the sweep engine's
+	// hot loops: it must not allocate.
+	if n := testing.AllocsPerRun(200, func() {
+		o.Info("x")
+		o.Counter("c").Add(1)
+		o.Timer("t").Observe(1)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry allocates %.1f per op", n)
+	}
+}
+
+func TestCountersGaugesTimers(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(3)
+	m.Counter("a").Inc()
+	if v := m.Counter("a").Value(); v != 4 {
+		t.Fatalf("counter = %d", v)
+	}
+	m.Gauge("g").Set(2.5)
+	m.Gauge("g").Add(0.5)
+	if v := m.Gauge("g").Value(); v != 3 {
+		t.Fatalf("gauge = %v", v)
+	}
+	m.Timer("t").Observe(2 * time.Millisecond)
+	m.Timer("t").Observe(4 * time.Millisecond)
+	tm := m.Timer("t")
+	if tm.Count() != 2 || tm.Total() != 6*time.Millisecond {
+		t.Fatalf("timer = %d obs, %v total", tm.Count(), tm.Total())
+	}
+}
+
+func TestMetricsConcurrentUpdates(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").Add(1)
+				m.Timer("t").Observe(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := m.Counter("c").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if v := m.Gauge("g").Value(); v != 8000 {
+		t.Fatalf("gauge = %v, want 8000", v)
+	}
+	if n := m.Timer("t").Count(); n != 8000 {
+		t.Fatalf("timer count = %d, want 8000", n)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	o := New(Off, nil)
+	o.Counter("sweep.jobs").Add(12)
+	o.Gauge("util").Set(0.75)
+	o.Timer("fwd").Observe(10 * time.Millisecond)
+	var b strings.Builder
+	if err := o.Metrics().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, b.String())
+	}
+	if back.Counters["sweep.jobs"] != 12 || back.Gauges["util"] != 0.75 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	ts := back.Timers["fwd"]
+	if ts.Count != 1 || ts.TotalNS != int64(10*time.Millisecond) || ts.AvgNS != float64(10*time.Millisecond) {
+		t.Fatalf("timer stats mismatch: %+v", ts)
+	}
+}
+
+func TestSpanRecordsTimerAndEvent(t *testing.T) {
+	var b strings.Builder
+	o := New(Info, NewTextSink(&b))
+	sp := o.StartSpan("phase", F("k", "v"))
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	if o.Timer("span.phase").Count() != 1 {
+		t.Fatal("span timer not recorded")
+	}
+	if !strings.Contains(b.String(), "phase done") || !strings.Contains(b.String(), "k=v") {
+		t.Fatalf("span end event missing:\n%s", b.String())
+	}
+}
+
+func TestLineWriterSplitsLines(t *testing.T) {
+	var b strings.Builder
+	o := New(Debug, NewTextSink(&b))
+	w := o.LineWriter(Debug)
+	if w == nil {
+		t.Fatal("enabled LineWriter must be non-nil")
+	}
+	w.Write([]byte("epoch 1/2: loss=0.5\nepo"))
+	w.Write([]byte("ch 2/2: loss=0.3\n"))
+	out := b.String()
+	if !strings.Contains(out, "epoch 1/2: loss=0.5") || !strings.Contains(out, "epoch 2/2: loss=0.3") {
+		t.Fatalf("lines not split into events:\n%s", out)
+	}
+	if o.LineWriter(Off) != nil {
+		t.Fatal("LineWriter above threshold must be nil")
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// Span measures one named phase of work: StartSpan emits a debug event,
+// End records the duration into the "span.<name>" timer and emits an
+// info event with the rounded duration. A nil Span (from a nil Obs) is
+// valid and End is a no-op, so call sites need no guards:
+//
+//	sp := o.StartSpan("train.fit", obs.F("epochs", n))
+//	defer sp.End()
+type Span struct {
+	o      *Obs
+	name   string
+	fields []Field
+	start  time.Time
+}
+
+// StartSpan opens a span. The fields are attached to both the start and
+// end events.
+func (o *Obs) StartSpan(name string, fields ...Field) *Span {
+	if o == nil {
+		return nil
+	}
+	o.Event(Debug, name+" started", fields...)
+	return &Span{o: o, name: name, fields: fields, start: time.Now()}
+}
+
+// End closes the span and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.o.Timer("span." + s.name).Observe(d)
+	s.o.Event(Info, s.name+" done", append(s.fields[:len(s.fields):len(s.fields)], F("dur", d.Round(time.Millisecond)))...)
+	return d
+}

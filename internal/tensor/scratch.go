@@ -14,12 +14,45 @@ package tensor
 // A Scratch is NOT safe for concurrent use; give each worker goroutine
 // its own.
 type Scratch struct {
-	free map[int][][]float64
+	free  map[int][][]float64
+	stats ScratchStats
+}
+
+// ScratchStats tallies an arena's traffic: how many buffer requests were
+// served from the free list versus freshly allocated, and how many bytes
+// the arena grew by. The sweep engine merges worker arenas' stats into
+// the telemetry gauges; the split between Reuses and Allocs depends on
+// job scheduling, so these are reported as gauges, never counters.
+type ScratchStats struct {
+	Takes      int64 // buffers requested
+	Reuses     int64 // requests served from the free list
+	Allocs     int64 // requests that allocated fresh memory
+	AllocBytes int64 // bytes of fresh allocation (arena growth)
+	Releases   int64 // buffers returned for reuse
+}
+
+// Plus returns the element-wise sum of two stats.
+func (a ScratchStats) Plus(b ScratchStats) ScratchStats {
+	return ScratchStats{
+		Takes:      a.Takes + b.Takes,
+		Reuses:     a.Reuses + b.Reuses,
+		Allocs:     a.Allocs + b.Allocs,
+		AllocBytes: a.AllocBytes + b.AllocBytes,
+		Releases:   a.Releases + b.Releases,
+	}
 }
 
 // NewScratch returns an empty arena.
 func NewScratch() *Scratch {
 	return &Scratch{free: make(map[int][][]float64)}
+}
+
+// Stats returns the arena's traffic tallies (zero for a nil Scratch).
+func (s *Scratch) Stats() ScratchStats {
+	if s == nil {
+		return ScratchStats{}
+	}
+	return s.stats
 }
 
 // take returns a buffer of length n, recycled when possible. The contents
@@ -28,11 +61,15 @@ func (s *Scratch) take(n int) []float64 {
 	if s == nil {
 		return make([]float64, n)
 	}
+	s.stats.Takes++
 	if bufs := s.free[n]; len(bufs) > 0 {
 		buf := bufs[len(bufs)-1]
 		s.free[n] = bufs[:len(bufs)-1]
+		s.stats.Reuses++
 		return buf
 	}
+	s.stats.Allocs++
+	s.stats.AllocBytes += 8 * int64(n)
 	return make([]float64, n)
 }
 
@@ -66,5 +103,6 @@ func (s *Scratch) Release(ts ...*Tensor) {
 		}
 		n := len(t.Data)
 		s.free[n] = append(s.free[n], t.Data)
+		s.stats.Releases++
 	}
 }

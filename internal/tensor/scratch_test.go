@@ -26,6 +26,26 @@ func TestScratchReusesBuffers(t *testing.T) {
 	}
 }
 
+func TestScratchStats(t *testing.T) {
+	s := NewScratch()
+	a := s.Take(4, 8) // fresh: 32 elements = 256 bytes
+	s.Release(a)
+	s.Take(8, 4) // recycled
+	s.Take(2)    // fresh: 2 elements = 16 bytes
+	got := s.Stats()
+	want := ScratchStats{Takes: 3, Reuses: 1, Allocs: 2, AllocBytes: 256 + 16, Releases: 1}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	if sum := got.Plus(got); sum.Takes != 6 || sum.AllocBytes != 2*(256+16) {
+		t.Fatalf("Plus = %+v", sum)
+	}
+	var nilS *Scratch
+	if nilS.Stats() != (ScratchStats{}) {
+		t.Fatal("nil Scratch stats must be zero")
+	}
+}
+
 func TestScratchNilIsValid(t *testing.T) {
 	var s *Scratch
 	a := s.Take(2, 3)
