@@ -7,6 +7,7 @@
 package redcane
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
@@ -395,7 +396,9 @@ func BenchmarkLayerSweepClassCaps(b *testing.B) {
 	filter := noise.ForLayerGroup("ClassCaps", noise.MACOutputs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.Sweep(filter, clean, 1)
+		if _, err := a.Sweep(context.Background(), filter, clean, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -419,7 +422,9 @@ func BenchmarkGroupSweepEngine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for gi, g := range noise.Groups() {
-			a.Sweep(noise.ForGroup(g), clean, uint64(gi)*100000)
+			if _, err := a.Sweep(context.Background(), noise.ForGroup(g), clean, uint64(gi)*100000); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -450,6 +455,8 @@ func BenchmarkMethodologyGroupSweepSmall(b *testing.B) {
 	clean := a.CleanAccuracy()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.AnalyzeGroups(clean)
+		if _, err := a.AnalyzeGroups(context.Background(), clean); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -26,6 +26,8 @@
 //	-seed       master seed (default 42)
 //	-workers    sweep-engine evaluation goroutines (default GOMAXPROCS);
 //	            results are bit-identical for any worker count
+//	-checkpoint persist analysis progress under -dir so interrupted runs
+//	            resume bit-identically (default true)
 //	-csv        also write machine-readable CSVs into this directory
 //	-json       write the design report as JSON to this file (design/refine)
 //	-v          shorthand for -log-level info
@@ -35,17 +37,26 @@
 //	            utilization) to this file on exit
 //	-pprof      serve net/http/pprof on this address (e.g. localhost:6060)
 //	-cpuprofile write a CPU profile to this file
+//
+// Exit codes: 0 success, 1 error, 2 usage, 130 interrupted (SIGINT or
+// SIGTERM). On interrupt the run stops at the next batch boundary,
+// flushes the -metrics snapshot and any partial outputs, and — with
+// -checkpoint — leaves a resumable analysis checkpoint in -dir.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"syscall"
 
 	"redcane/internal/approx"
 	"redcane/internal/core"
@@ -53,11 +64,16 @@ import (
 	"redcane/internal/obs"
 )
 
+// exitInterrupted is the conventional exit status for a SIGINT-style
+// shutdown (128 + SIGINT).
+const exitInterrupted = 130
+
 func main() {
 	dir := flag.String("dir", ".redcane-cache", "weight-cache directory")
 	quick := flag.Bool("quick", false, "reduced dataset/epoch/evaluation sizes")
 	seed := flag.Uint64("seed", 42, "master seed")
 	workers := flag.Int("workers", 0, "sweep-engine evaluation goroutines (0 = GOMAXPROCS); never affects results")
+	checkpointOn := flag.Bool("checkpoint", true, "persist analysis progress under -dir so interrupted runs resume")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	jsonPath := flag.String("json", "", "write the design report as JSON to this file (design/refine)")
 	verbose := flag.Bool("v", false, "shorthand for -log-level info")
@@ -85,6 +101,7 @@ func main() {
 			}
 		}()
 	}
+	var profFile *os.File
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -92,33 +109,68 @@ func main() {
 			os.Exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, "redcane:", err)
 			os.Exit(1)
 		}
+		profFile = f
 	}
 
-	cfg := experiments.Config{Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers, Obs: o}
-	r := experiments.NewRunner(cfg)
-	ctx := &cli{runner: r, obs: o, csvDir: *csvDir, jsonPath: *jsonPath}
-	runErr := ctx.run(os.Stdout, flag.Arg(0), flag.Args()[1:])
+	// SIGINT/SIGTERM cancel the run context: work stops at the next batch
+	// boundary and the shutdown path below still flushes telemetry and
+	// partial outputs. A second signal kills the process immediately.
+	runCtx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "redcane: interrupted; stopping at next batch (signal again to kill)")
+		cancel()
+		<-sig
+		os.Exit(exitInterrupted)
+	}()
 
-	// Flush the profile and snapshot even when the command failed: a
-	// partial run's telemetry is exactly what debugs the failure.
-	if *cpuProfile != "" {
+	cfg := experiments.Config{
+		Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers, Obs: o,
+		Ctx: runCtx, Checkpoint: *checkpointOn,
+	}
+	r := experiments.NewRunner(cfg)
+	c := &cli{runner: r, obs: o, csvDir: *csvDir, jsonPath: *jsonPath}
+	runErr := c.run(os.Stdout, flag.Arg(0), flag.Args()[1:])
+	signal.Stop(sig)
+	cancel()
+
+	exitCode := 0
+	if runErr != nil {
+		exitCode = 1
+		if errors.Is(runErr, context.Canceled) {
+			exitCode = exitInterrupted
+		}
+	}
+
+	// Flush the profile and snapshot even when the command failed or was
+	// interrupted: a partial run's telemetry is exactly what debugs it.
+	if profFile != nil {
 		pprof.StopCPUProfile()
+		if err := profFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "redcane:", err)
+			if exitCode == 0 {
+				exitCode = 1
+			}
+		}
 	}
 	if *metricsPath != "" {
 		if err := writeMetrics(o, *metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, "redcane:", err)
-			if runErr == nil {
-				os.Exit(1)
+			if exitCode == 0 {
+				exitCode = 1
 			}
 		}
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "redcane:", runErr)
-		os.Exit(1)
 	}
+	os.Exit(exitCode)
 }
 
 // buildObs resolves the -log-level / -v flags into the process Obs.
@@ -172,13 +224,20 @@ flags:
   -seed n        master seed (default 42)
   -workers n     sweep-engine goroutines (default GOMAXPROCS); results
                  are bit-identical for any worker count
+  -checkpoint    persist analysis progress under -dir so interrupted runs
+                 resume bit-identically (default true)
   -csv dir       also write machine-readable CSVs into this directory
-  -json file     write the design report as JSON (design/refine)
+  -json file     write the design report as JSON (design/refine; refine
+                 includes the repaired choices and repair trace)
   -v             shorthand for -log-level info
   -log-level l   event verbosity: debug|info|warn|error|off (default warn)
   -metrics file  write a JSON telemetry snapshot on exit
   -pprof addr    serve net/http/pprof on this address
-  -cpuprofile f  write a CPU profile to this file`)
+  -cpuprofile f  write a CPU profile to this file
+
+exit codes:
+  0 success, 1 error, 2 usage, 130 interrupted (SIGINT/SIGTERM stops at
+  the next batch boundary; a second signal kills immediately)`)
 }
 
 // cli bundles the runner with output options.
@@ -220,11 +279,13 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 			return err
 		}
 		fmt.Fprint(w, res.Render())
+		var refined *core.RefineResult
 		if cmd == "refine" {
 			ref, err := r.RefineDesign(b, res)
 			if err != nil {
 				return err
 			}
+			refined = &ref
 			fmt.Fprintln(w)
 			fmt.Fprint(w, core.FormatRefine(ref))
 		}
@@ -234,7 +295,14 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 				return err
 			}
 			defer f.Close()
-			if err := res.Report.WriteJSON(f); err != nil {
+			// The refine command serializes the refined design — the
+			// repaired choices, final validated accuracy and the repair
+			// trace — not the pre-refinement report.
+			if refined != nil {
+				if err := core.WriteRefinedJSON(f, res.Report, *refined); err != nil {
+					return err
+				}
+			} else if err := res.Report.WriteJSON(f); err != nil {
 				return err
 			}
 		}
@@ -329,7 +397,7 @@ func (c *cli) runExperiments(w io.Writer, id string) error {
 		for _, g := range results {
 			fmt.Fprint(w, g.Render())
 		}
-		return nil
+		return c.writeFig12CSVs(results)
 	case "ablation-routing":
 		res, err = r.AblationRoutingIterations()
 	case "ablation-lut":
@@ -361,6 +429,33 @@ func (c *cli) runExperiments(w io.Writer, id string) error {
 
 // csvWriter is implemented by results with a machine-readable form.
 type csvWriter interface{ WriteCSV(io.Writer) error }
+
+// writeFig12CSVs persists one CSV per Fig. 12 benchmark
+// (fig12-<benchmark>.csv). Fig. 12 is a multi-result experiment, so it
+// bypasses the single-file writeCSV path.
+func (c *cli) writeFig12CSVs(results []*experiments.GroupSweepResult) error {
+	if c.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
+		return err
+	}
+	for _, g := range results {
+		f, err := os.Create(filepath.Join(c.csvDir, "fig12-"+g.Benchmark.Key()+".csv"))
+		if err != nil {
+			return err
+		}
+		werr := g.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
 
 // writeCSV persists a result's CSV next to the text output.
 func (c *cli) writeCSV(id string, res renderer) error {

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"redcane/internal/core"
 	"redcane/internal/experiments"
+	"redcane/internal/noise"
 	"redcane/internal/obs"
 )
 
@@ -95,8 +97,9 @@ func TestUsageDocumentsAllCommandsAndFlags(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"train", "experiment", "design", "refine", "characterize", "energy", "list",
-		"-dir", "-quick", "-seed", "-workers", "-csv", "-json", "-v",
+		"-dir", "-quick", "-seed", "-workers", "-checkpoint", "-csv", "-json", "-v",
 		"-log-level", "-metrics", "-pprof", "-cpuprofile",
+		"exit codes", "130",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("usage missing %q", want)
@@ -168,6 +171,49 @@ func TestWriteMetricsSnapshot(t *testing.T) {
 	data, _ = os.ReadFile(path2)
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("empty snapshot malformed: %v\n%s", err, data)
+	}
+}
+
+func TestWriteFig12CSVsOnePerBenchmark(t *testing.T) {
+	// fig12 is a multi-result experiment: it must write one CSV per
+	// benchmark (fig12-<benchmark>.csv), not silently skip the -csv flag.
+	c := testCLI(t)
+	c.csvDir = t.TempDir()
+	results := []*experiments.GroupSweepResult{
+		{
+			Benchmark: experiments.Benchmarks[1],
+			Clean:     0.9,
+			Groups: []core.GroupResult{{
+				Group:  noise.Softmax,
+				Points: []core.SweepPoint{{NM: 0.5, Accuracy: 0.89, Drop: -0.01}},
+			}},
+		},
+		{
+			Benchmark: experiments.Benchmarks[4],
+			Clean:     0.95,
+			Groups: []core.GroupResult{{
+				Group:  noise.MACOutputs,
+				Points: []core.SweepPoint{{NM: 0.5, Accuracy: 0.5, Drop: -0.45}},
+			}},
+		},
+	}
+	if err := c.writeFig12CSVs(results); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		path := filepath.Join(c.csvDir, "fig12-"+r.Benchmark.Key()+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), r.Benchmark.Dataset) {
+			t.Fatalf("%s malformed:\n%s", path, data)
+		}
+	}
+	// With no -csv dir the helper is a silent no-op.
+	c.csvDir = ""
+	if err := c.writeFig12CSVs(results); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -64,7 +65,11 @@ func main() {
 		fmt.Printf("%8.3g", nm)
 	}
 	fmt.Println()
-	for _, g := range a.AnalyzeGroups(clean) {
+	groups, err := a.AnalyzeGroups(context.Background(), clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range groups {
 		fmt.Printf("%-14s", g.Group)
 		for _, p := range g.Points {
 			fmt.Printf("%+8.1f", 100*p.Drop)

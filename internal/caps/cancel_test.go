@@ -1,0 +1,51 @@
+package caps
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"redcane/internal/noise"
+	"redcane/internal/tensor"
+)
+
+// statefulInjector is an Injector without Split: it forces AccuracyCtx
+// onto the sequential shared-stream path.
+type statefulInjector struct{}
+
+func (statefulInjector) Inject(_ noise.Site, x *tensor.Tensor) *tensor.Tensor { return x }
+
+func TestAccuracyCtxCancellation(t *testing.T) {
+	net := parallelTestNet()
+	x := rt(31, 8, 1, 8, 8)
+	labels := make([]int, 8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// All three scheduling paths must honor a cancelled context: the
+	// splittable serial and parallel pools, and the stateful fallback.
+	cases := []struct {
+		name    string
+		inj     noise.Injector
+		workers int
+	}{
+		{"splittable serial", noise.None{}, 1},
+		{"splittable parallel", noise.None{}, 4},
+		{"stateful", statefulInjector{}, 1},
+	}
+	for _, c := range cases {
+		if _, err := AccuracyCtx(ctx, net, x, labels, c.inj, 2, c.workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error = %v, want context.Canceled", c.name, err)
+		}
+	}
+
+	// A background context reproduces the legacy wrapper bit-for-bit.
+	want := AccuracyWorkers(net, x, labels, noise.None{}, 2, 1)
+	got, err := AccuracyCtx(context.Background(), net, x, labels, noise.None{}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("AccuracyCtx = %g, AccuracyWorkers = %g", got, want)
+	}
+}

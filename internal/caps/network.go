@@ -1,6 +1,7 @@
 package caps
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -342,9 +343,25 @@ func Accuracy(net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, 
 // AccuracyWorkers is Accuracy with an explicit worker bound (values < 1
 // mean serial). The worker count affects scheduling only, never results.
 func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, batch, workers int) float64 {
+	acc, err := AccuracyCtx(context.Background(), net, x, labels, inj, batch, workers)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return acc
+}
+
+// AccuracyCtx is AccuracyWorkers with cancellation: when ctx is
+// cancelled the evaluation stops dispatching at the next batch boundary,
+// drains in-flight batches, and returns ctx's error. The accuracy value
+// is only meaningful when the error is nil.
+func AccuracyCtx(ctx context.Context, net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, batch, workers int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := x.Shape[0]
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	if batch <= 0 {
 		batch = 32
@@ -362,6 +379,9 @@ func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Inj
 		defer scratchPool.Put(s)
 		correct := 0
 		for lo := 0; lo < n; lo += batch {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			hi := lo + batch
 			if hi > n {
 				hi = n
@@ -373,7 +393,7 @@ func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Inj
 				}
 			}
 		}
-		return float64(correct) / float64(n)
+		return float64(correct) / float64(n), nil
 	}
 
 	if workers > nb {
@@ -382,6 +402,7 @@ func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Inj
 	if workers < 1 {
 		workers = 1
 	}
+	var cancelErr error
 	counts := make([]int, nb)
 	evalBatch := func(bi int, s *tensor.Scratch) {
 		lo := bi * batch
@@ -401,6 +422,9 @@ func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Inj
 	if workers == 1 {
 		s := scratchPool.Get().(*tensor.Scratch)
 		for bi := 0; bi < nb; bi++ {
+			if cancelErr = ctx.Err(); cancelErr != nil {
+				break
+			}
 			evalBatch(bi, s)
 		}
 		scratchPool.Put(s)
@@ -418,15 +442,24 @@ func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Inj
 				}
 			}()
 		}
+	dispatch:
 		for bi := 0; bi < nb; bi++ {
-			jobs <- bi
+			select {
+			case jobs <- bi:
+			case <-ctx.Done():
+				cancelErr = ctx.Err()
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	if cancelErr != nil {
+		return 0, cancelErr
 	}
 	correct := 0
 	for _, c := range counts {
 		correct += c
 	}
-	return float64(correct) / float64(n)
+	return float64(correct) / float64(n), nil
 }

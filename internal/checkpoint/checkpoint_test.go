@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type section struct {
+	Correct []int `json:"correct"`
+	Done    bool  `json:"done"`
+}
+
+func TestOpenFreshPutGetReload(t *testing.T) {
+	dir := t.TempDir()
+	st, resumed, err := Open(dir, "capsnet-mnist-like-quick", 42, Fingerprint("opts-v1"))
+	if err != nil || resumed {
+		t.Fatalf("fresh open: resumed=%v err=%v", resumed, err)
+	}
+	if st.Get("sweep-1", &section{}) {
+		t.Fatal("fresh store reported a section")
+	}
+	want := section{Correct: []int{3, 1, 4}, Done: true}
+	if err := st.Put("sweep-1", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle (new process) must see the persisted section.
+	st2, resumed, err := Open(dir, "capsnet-mnist-like-quick", 42, Fingerprint("opts-v1"))
+	if err != nil || !resumed {
+		t.Fatalf("reopen: resumed=%v err=%v", resumed, err)
+	}
+	var got section
+	if !st2.Get("sweep-1", &got) {
+		t.Fatal("section lost across reopen")
+	}
+	if !got.Done || len(got.Correct) != 3 || got.Correct[2] != 4 {
+		t.Fatalf("section = %+v", got)
+	}
+}
+
+func TestKeyMismatchIgnoresFile(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := Open(dir, "b", 1, Fingerprint("a"))
+	if err := st.Put("x", section{Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Different fingerprint → same options key no longer matches; the
+	// old state must not leak into the new run.
+	st2, resumed, err := Open(dir, "b", 1, Fingerprint("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed || st2.Get("x", &section{}) {
+		t.Fatal("mismatched fingerprint resumed stale state")
+	}
+	// Same goes for seed.
+	st3, resumed, _ := Open(dir, "b", 2, Fingerprint("a"))
+	if resumed || st3.Get("x", &section{}) {
+		t.Fatal("mismatched seed resumed stale state")
+	}
+}
+
+func TestCorruptFileReportsErrorButStaysUsable(t *testing.T) {
+	dir := t.TempDir()
+	path := Path(dir, "b", 1, Fingerprint("a"))
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, resumed, err := Open(dir, "b", 1, Fingerprint("a"))
+	if err == nil || resumed {
+		t.Fatalf("corrupt file: resumed=%v err=%v", resumed, err)
+	}
+	// The fresh store still works and overwrites the corrupt file.
+	if err := st.Put("x", section{Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, "b", 1, Fingerprint("a")); err != nil {
+		t.Fatalf("overwritten checkpoint still corrupt: %v", err)
+	}
+}
+
+func TestAtomicSaveLeavesNoTempFile(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := Open(dir, "b", 1, Fingerprint("a"))
+	if err := st.Put("x", section{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestPathSanitizesName(t *testing.T) {
+	p := Path("d", "caps net/µ", 1, "f")
+	if base := filepath.Base(p); strings.ContainsAny(base, " /µ") {
+		t.Fatalf("unsanitized path %q", base)
+	}
+}
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	if Fingerprint("a") != Fingerprint("a") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if Fingerprint("a") == Fingerprint("b") {
+		t.Fatal("distinct inputs collided")
+	}
+	if len(Fingerprint("a")) != 16 {
+		t.Fatalf("fingerprint length %d", len(Fingerprint("a")))
+	}
+}

@@ -43,8 +43,8 @@ type exportedChoice struct {
 	AreaUM2     float64 `json:"area_um2"`
 }
 
-// WriteJSON serializes the report to w (indented, stable field order).
-func (r *Report) WriteJSON(w io.Writer) error {
+// exportReport builds the stable JSON form of a report.
+func exportReport(r *Report) exportedReport {
 	e := exportedReport{
 		Network:           r.Network,
 		Dataset:           r.Dataset,
@@ -71,10 +71,64 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			PowerUW:  c.Component.PowerUW, AreaUM2: c.Component.AreaUM2,
 		})
 	}
+	return e
+}
+
+// WriteJSON serializes the report to w (indented, stable field order).
+func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(e); err != nil {
+	if err := enc.Encode(exportReport(r)); err != nil {
 		return fmt.Errorf("core: export report: %w", err)
+	}
+	return nil
+}
+
+// exportedRefined extends the report schema with the refinement trace.
+// The embedded report carries the POST-refinement choices and validated
+// accuracy; the original pre-refinement selection is recoverable from
+// the repair steps.
+type exportedRefined struct {
+	exportedReport
+	Refinement exportedRefinement `json:"refinement"`
+}
+
+type exportedRefinement struct {
+	Steps    []exportedRefineStep `json:"steps"`
+	Accuracy float64              `json:"accuracy"`
+	Met      bool                 `json:"met"`
+}
+
+type exportedRefineStep struct {
+	Round    int     `json:"round"`
+	Layer    string  `json:"layer"`
+	Group    string  `json:"group"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// WriteRefinedJSON serializes the refined design: the base report with
+// its choices and validated accuracy replaced by the refinement outcome,
+// plus the repair trace under "refinement".
+func WriteRefinedJSON(w io.Writer, base *Report, ref RefineResult) error {
+	refined := *base
+	refined.Choices = ref.Choices
+	refined.ValidatedAccuracy = ref.Accuracy
+	out := exportedRefined{exportedReport: exportReport(&refined)}
+	out.Refinement.Accuracy = ref.Accuracy
+	out.Refinement.Met = ref.Met
+	out.Refinement.Steps = []exportedRefineStep{} // [] rather than null when no repairs
+	for _, s := range ref.Steps {
+		out.Refinement.Steps = append(out.Refinement.Steps, exportedRefineStep{
+			Round: s.Round, Layer: s.Site.Layer, Group: s.Site.Group.String(),
+			From: s.From, To: s.To, Accuracy: s.Accuracy,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("core: export refined report: %w", err)
 	}
 	return nil
 }

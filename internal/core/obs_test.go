@@ -23,9 +23,9 @@ func instrumented(t *testing.T, workers int) (obs.Snapshot, [][]SweepPoint) {
 	x, y := a.evalData()
 	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
 	pts := [][]SweepPoint{
-		a.sweep(noise.ForGroup(noise.Softmax), clean, 3),
-		a.sweep(noise.ForGroup(noise.LogitsUpdate), clean, 4),
-		a.sweep(noise.ForGroup(noise.MACOutputs), clean, 5),
+		mustSweep(t, a, noise.ForGroup(noise.Softmax), clean, 3),
+		mustSweep(t, a, noise.ForGroup(noise.LogitsUpdate), clean, 4),
+		mustSweep(t, a, noise.ForGroup(noise.MACOutputs), clean, 5),
 	}
 	return o.Metrics().Snapshot(), pts
 }
@@ -68,9 +68,9 @@ func TestSweepResultsUnchangedByTelemetry(t *testing.T) {
 	x, y := bare.evalData()
 	clean := caps.Accuracy(bare.Net, x, y, noise.None{}, bare.Opts.Batch)
 	want := [][]SweepPoint{
-		bare.sweep(noise.ForGroup(noise.Softmax), clean, 3),
-		bare.sweep(noise.ForGroup(noise.LogitsUpdate), clean, 4),
-		bare.sweep(noise.ForGroup(noise.MACOutputs), clean, 5),
+		mustSweep(t, bare, noise.ForGroup(noise.Softmax), clean, 3),
+		mustSweep(t, bare, noise.ForGroup(noise.LogitsUpdate), clean, 4),
+		mustSweep(t, bare, noise.ForGroup(noise.MACOutputs), clean, 5),
 	}
 	_, got := instrumented(t, 4)
 	for i := range want {

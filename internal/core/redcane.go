@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,6 +26,7 @@ import (
 
 	"redcane/internal/approx"
 	"redcane/internal/caps"
+	"redcane/internal/checkpoint"
 	"redcane/internal/datasets"
 	"redcane/internal/noise"
 	"redcane/internal/obs"
@@ -85,6 +87,18 @@ func (o Options) WithDefaults() Options {
 		o.PrefixCacheMB = 256
 	}
 	return o
+}
+
+// Fingerprint hashes the results-affecting options into a short stable
+// key for checkpoint identity. Workers and PrefixCacheMB are deliberately
+// excluded: they alter scheduling and window layout only, never results,
+// so a run checkpointed at one worker count resumes bit-identically at
+// another.
+func (o Options) Fingerprint() string {
+	o = o.WithDefaults()
+	return checkpoint.Fingerprint(fmt.Sprintf(
+		"opts-v1|nm=%v|na=%g|trials=%d|batch=%d|thr=%g|seed=%d|maxeval=%d",
+		o.NMSweep, o.NA, o.Trials, o.Batch, o.Threshold, o.Seed, o.MaxEval))
 }
 
 // SweepPoint is one (NM, accuracy) measurement.
@@ -160,17 +174,67 @@ type Analyzer struct {
 	// worker-pool busy time, scratch-arena traffic). Telemetry never
 	// alters results; a nil Obs disables it at the cost of one branch.
 	Obs *obs.Obs
+	// Checkpoint, when non-nil, persists completed work (clean accuracy,
+	// per-window sweep counts, finished group/layer analyses) so an
+	// interrupted run resumes bit-identically. Open the store keyed by
+	// (benchmark, seed, Options.Fingerprint()); a store opened under a
+	// different fingerprint ignores its stale contents. A nil Checkpoint
+	// disables persistence entirely.
+	Checkpoint *checkpoint.Store
 
 	sites  map[noise.Group][]noise.Site // Step 1 cache
 	pcache *prefixCache                 // sweep engine's whole-set clean-prefix cache
+	// afterWindow, when non-nil, runs after every completed (and
+	// checkpointed) sweep batch window — a test seam for deterministic
+	// mid-sweep interruption.
+	afterWindow func(batchesDone, totalBatches int)
+}
+
+// checkpointPut persists one checkpoint section; persistence failures
+// degrade to a warning (the run continues, it just cannot resume).
+func (a *Analyzer) checkpointPut(key string, v any) {
+	if err := a.Checkpoint.Put(key, v); err != nil {
+		a.Obs.Warn("checkpoint write failed", obs.F("section", key), obs.F("err", err))
+	}
+}
+
+// ckptClean is the checkpointed clean-accuracy section.
+type ckptClean struct {
+	Accuracy float64 `json:"accuracy"`
 }
 
 // CleanAccuracy evaluates the noiseless test accuracy under the
 // analyzer's evaluation cap.
 func (a *Analyzer) CleanAccuracy() float64 {
+	acc, err := a.CleanAccuracyCtx(context.Background())
+	if err != nil {
+		panic(err) // unreachable: a background context never cancels
+	}
+	return acc
+}
+
+// CleanAccuracyCtx is CleanAccuracy with cancellation (stops at a batch
+// boundary with ctx's error) and checkpointing: with a non-nil
+// a.Checkpoint the measured value persists under the "clean" section and
+// later runs skip the evaluation.
+func (a *Analyzer) CleanAccuracyCtx(ctx context.Context) (float64, error) {
 	a.Opts = a.Opts.WithDefaults()
+	if a.Checkpoint != nil {
+		var c ckptClean
+		if a.Checkpoint.Get("clean", &c) {
+			a.Obs.Info("clean accuracy resumed from checkpoint", obs.F("accuracy", c.Accuracy))
+			return c.Accuracy, nil
+		}
+	}
 	x, y := a.evalData()
-	return caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
+	acc, err := caps.AccuracyCtx(ctx, a.Net, x, y, noise.None{}, a.Opts.Batch, a.Opts.Workers)
+	if err != nil {
+		return 0, err
+	}
+	if a.Checkpoint != nil {
+		a.checkpointPut("clean", ckptClean{Accuracy: acc})
+	}
+	return acc, nil
 }
 
 // evalData returns the (possibly truncated) test split.
@@ -212,9 +276,59 @@ func toleratedNM(points []SweepPoint, threshold float64) float64 {
 	return best
 }
 
-// AnalyzeGroups is Step 2 + Step 3.
-func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
+// ckptGroup / ckptLayer are the checkpointed forms of a finished group
+// or layer analysis (groups serialize by their stable paper name).
+type ckptGroup struct {
+	Group       string       `json:"group"`
+	Points      []SweepPoint `json:"points"`
+	ToleratedNM float64      `json:"tolerated_nm"`
+	Resilient   bool         `json:"resilient"`
+}
+
+type ckptLayer struct {
+	Layer       string       `json:"layer"`
+	Group       string       `json:"group"`
+	Points      []SweepPoint `json:"points"`
+	ToleratedNM float64      `json:"tolerated_nm"`
+	Resilient   bool         `json:"resilient"`
+}
+
+// groupByName resolves a checkpointed group name back to its Group.
+func groupByName(name string) (noise.Group, bool) {
+	for _, g := range noise.Groups() {
+		if g.String() == name {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
+// AnalyzeGroups is Step 2 + Step 3. With a non-nil a.Checkpoint a
+// finished analysis persists under the "groups" section (each individual
+// sweep checkpoints its own windows) and later runs return it directly.
+func (a *Analyzer) AnalyzeGroups(ctx context.Context, clean float64) ([]GroupResult, error) {
 	o := a.Opts
+	if a.Checkpoint != nil {
+		var recs []ckptGroup
+		if a.Checkpoint.Get("groups", &recs) && len(recs) > 0 {
+			out := make([]GroupResult, 0, len(recs))
+			ok := true
+			for _, r := range recs {
+				g, found := groupByName(r.Group)
+				if !found {
+					ok = false
+					break
+				}
+				out = append(out, GroupResult{
+					Group: g, Points: r.Points, ToleratedNM: r.ToleratedNM, Resilient: r.Resilient,
+				})
+			}
+			if ok {
+				a.Obs.Info("group analysis resumed from checkpoint", obs.F("groups", len(out)))
+				return out, nil
+			}
+		}
+	}
 	groups := a.ExtractGroups()
 	total := 0
 	for _, g := range noise.Groups() {
@@ -230,7 +344,10 @@ func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
 		if len(groups[g]) == 0 {
 			continue
 		}
-		pts := a.sweep(noise.ForGroup(g), clean, uint64(gi)*100000)
+		pts, err := a.sweep(ctx, noise.ForGroup(g), clean, uint64(gi)*100000)
+		if err != nil {
+			return nil, fmt.Errorf("group sweep %s: %w", g, err)
+		}
 		tol := toleratedNM(pts, o.Threshold)
 		tols = append(tols, tol)
 		out = append(out, GroupResult{Group: g, Points: pts, ToleratedNM: tol})
@@ -245,13 +362,46 @@ func (a *Analyzer) AnalyzeGroups(clean float64) []GroupResult {
 		out[i].Resilient = out[i].ToleratedNM >= maxNM ||
 			(out[i].ToleratedNM > med && out[i].ToleratedNM > 0)
 	}
-	return out
+	if a.Checkpoint != nil {
+		recs := make([]ckptGroup, 0, len(out))
+		for _, g := range out {
+			recs = append(recs, ckptGroup{
+				Group: g.Group.String(), Points: g.Points,
+				ToleratedNM: g.ToleratedNM, Resilient: g.Resilient,
+			})
+		}
+		a.checkpointPut("groups", recs)
+	}
+	return out, nil
 }
 
 // AnalyzeLayers is Step 4 + Step 5: per-layer sweeps for each
-// non-resilient group.
-func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerResult {
+// non-resilient group. A finished analysis persists under the "layers"
+// checkpoint section, mirroring AnalyzeGroups.
+func (a *Analyzer) AnalyzeLayers(ctx context.Context, groups []GroupResult, clean float64) ([]LayerResult, error) {
 	o := a.Opts
+	if a.Checkpoint != nil {
+		var recs []ckptLayer
+		if a.Checkpoint.Get("layers", &recs) {
+			out := make([]LayerResult, 0, len(recs))
+			ok := true
+			for _, r := range recs {
+				g, found := groupByName(r.Group)
+				if !found {
+					ok = false
+					break
+				}
+				out = append(out, LayerResult{
+					Layer: r.Layer, Group: g, Points: r.Points,
+					ToleratedNM: r.ToleratedNM, Resilient: r.Resilient,
+				})
+			}
+			if ok {
+				a.Obs.Info("layer analysis resumed from checkpoint", obs.F("layers", len(out)))
+				return out, nil
+			}
+		}
+	}
 	sitesByGroup := a.ExtractGroups()
 	total := 0
 	for _, gr := range groups {
@@ -268,8 +418,11 @@ func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerRes
 		var tols []float64
 		start := len(out)
 		for li, site := range sitesByGroup[gr.Group] {
-			pts := a.sweep(noise.ForLayerGroup(site.Layer, gr.Group), clean,
+			pts, err := a.sweep(ctx, noise.ForLayerGroup(site.Layer, gr.Group), clean,
 				uint64(gi+1)*10000000+uint64(li)*100000)
+			if err != nil {
+				return nil, fmt.Errorf("layer sweep %s/%s: %w", site.Layer, gr.Group, err)
+			}
 			tol := toleratedNM(pts, o.Threshold)
 			tols = append(tols, tol)
 			out = append(out, LayerResult{
@@ -285,7 +438,17 @@ func (a *Analyzer) AnalyzeLayers(groups []GroupResult, clean float64) []LayerRes
 			out[i].Resilient = out[i].ToleratedNM >= med && med > 0
 		}
 	}
-	return out
+	if a.Checkpoint != nil {
+		recs := make([]ckptLayer, 0, len(out))
+		for _, l := range out {
+			recs = append(recs, ckptLayer{
+				Layer: l.Layer, Group: l.Group.String(), Points: l.Points,
+				ToleratedNM: l.ToleratedNM, Resilient: l.Resilient,
+			})
+		}
+		a.checkpointPut("layers", recs)
+	}
+	return out, nil
 }
 
 // progress emits one info-level progress line for a finished sweep,
@@ -413,21 +576,48 @@ func NewPerSiteInjector(choices []Choice, seed uint64) *noise.PerSite {
 }
 
 // Run executes the full 6-step methodology and assembles the report.
+// It is RunMethodology without cancellation; a worker panic (the only
+// failure mode left) propagates as a panic, preserving the historical
+// behavior for callers that never pass a context.
 func (a *Analyzer) Run(profiles []ComponentProfile) *Report {
+	r, err := a.RunMethodology(context.Background(), profiles)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunMethodology executes the full 6-step methodology and assembles the
+// report. Cancelling ctx stops the run at the next batch boundary with
+// ctx's error; with a non-nil a.Checkpoint, completed steps persist and
+// a rerun resumes bit-identically after the last checkpointed window.
+func (a *Analyzer) RunMethodology(ctx context.Context, profiles []ComponentProfile) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	a.Opts = a.Opts.WithDefaults()
 	run := a.Obs.StartSpan("methodology.run",
 		obs.F("network", a.Net.Name()), obs.F("dataset", a.Data.Name))
 	x, y := a.evalData()
 	sp := a.Obs.StartSpan("methodology.clean_eval")
-	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
+	clean, err := a.CleanAccuracyCtx(ctx)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	sp = a.Obs.StartSpan("methodology.groups")
-	groups := a.AnalyzeGroups(clean)
+	groups, err := a.AnalyzeGroups(ctx, clean)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	sp = a.Obs.StartSpan("methodology.layers")
-	layers := a.AnalyzeLayers(groups, clean)
+	layers, err := a.AnalyzeLayers(ctx, groups, clean)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	choices := a.SelectComponents(groups, layers, profiles)
 
 	// Predicted multiplier-energy saving, weighted by per-layer MAC ops.
@@ -448,8 +638,11 @@ func (a *Analyzer) Run(profiles []ComponentProfile) *Report {
 
 	inj := NewPerSiteInjector(choices, a.Opts.Seed+777)
 	sp = a.Obs.StartSpan("methodology.validate")
-	validated := caps.Accuracy(a.Net, x, y, inj, a.Opts.Batch)
+	validated, err := caps.AccuracyCtx(ctx, a.Net, x, y, inj, a.Opts.Batch, a.Opts.Workers)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	run.End()
 
 	return &Report{
@@ -461,7 +654,7 @@ func (a *Analyzer) Run(profiles []ComponentProfile) *Report {
 		Choices:           choices,
 		MulEnergySaving:   saving,
 		ValidatedAccuracy: validated,
-	}
+	}, nil
 }
 
 // FormatReport renders a human-readable summary.

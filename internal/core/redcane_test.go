@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -108,7 +109,10 @@ func TestGroupwiseResilienceOrdering(t *testing.T) {
 	a := sharedAnalyzer(t)
 	x, y := a.evalData()
 	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
-	groups := a.AnalyzeGroups(clean)
+	groups, err := a.AnalyzeGroups(context.Background(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tol := map[noise.Group]float64{}
 	for _, g := range groups {
 		tol[g.Group] = g.ToleratedNM
@@ -127,7 +131,7 @@ func TestSweepMonotoneAtExtremes(t *testing.T) {
 	a := sharedAnalyzer(t)
 	x, y := a.evalData()
 	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
-	pts := a.sweep(noise.ForGroup(noise.MACOutputs), clean, 1)
+	pts := mustSweep(t, a, noise.ForGroup(noise.MACOutputs), clean, 1)
 	if pts[len(pts)-1].NM != 0 || pts[len(pts)-1].Accuracy != clean {
 		t.Fatalf("zero-NM point = %+v, clean %g", pts[len(pts)-1], clean)
 	}

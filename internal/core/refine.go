@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,7 +35,16 @@ type RefineResult struct {
 // magnitude is upgraded to the next more accurate library component, and
 // validation repeats. This closes the gap between per-site budgets
 // (measured in isolation) and their composed effect.
-func (a *Analyzer) Refine(choices []Choice, profiles []ComponentProfile, clean, maxDrop float64, maxRounds int) RefineResult {
+//
+// Cancelling ctx stops the loop at the next validation batch boundary
+// with ctx's error. Refinement rounds are not checkpointed: the loop
+// restarts from the design's original choices on rerun (each round is a
+// single validation pass, cheap next to the sweeps that produced the
+// design).
+func (a *Analyzer) Refine(ctx context.Context, choices []Choice, profiles []ComponentProfile, clean, maxDrop float64, maxRounds int) (RefineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	a.Opts = a.Opts.WithDefaults()
 	x, y := a.evalData()
 
@@ -50,7 +60,11 @@ func (a *Analyzer) Refine(choices []Choice, profiles []ComponentProfile, clean, 
 	res := RefineResult{}
 	for round := 0; round < maxRounds; round++ {
 		inj := NewPerSiteInjector(cur, a.Opts.Seed+900+uint64(round))
-		acc := caps.Accuracy(a.Net, x, y, inj, a.Opts.Batch)
+		acc, err := caps.AccuracyCtx(ctx, a.Net, x, y, inj, a.Opts.Batch, a.Opts.Workers)
+		if err != nil {
+			res.Choices = cur
+			return res, err
+		}
 		res.Accuracy = acc
 		if acc >= clean-maxDrop {
 			res.Met = true
@@ -83,7 +97,12 @@ func (a *Analyzer) Refine(choices []Choice, profiles []ComponentProfile, clean, 
 		cur[worst].Component = next.Component
 		cur[worst].ComponentNM = next.NM
 		inj2 := NewPerSiteInjector(cur, a.Opts.Seed+900+uint64(round))
-		step.Accuracy = caps.Accuracy(a.Net, x, y, inj2, a.Opts.Batch)
+		acc2, err := caps.AccuracyCtx(ctx, a.Net, x, y, inj2, a.Opts.Batch, a.Opts.Workers)
+		if err != nil {
+			res.Choices = cur
+			return res, err
+		}
+		step.Accuracy = acc2
 		res.Steps = append(res.Steps, step)
 		res.Accuracy = step.Accuracy
 		if step.Accuracy >= clean-maxDrop {
@@ -92,7 +111,7 @@ func (a *Analyzer) Refine(choices []Choice, profiles []ComponentProfile, clean, 
 		}
 	}
 	res.Choices = cur
-	return res
+	return res, nil
 }
 
 // FormatRefine renders the refinement trace.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -31,7 +32,10 @@ func TestRefineMeetsTargetByUpgrading(t *testing.T) {
 		}
 	}
 
-	res := a.Refine(choices, profiles, clean, 0.05, 100)
+	res, err := a.Refine(context.Background(), choices, profiles, clean, 0.05, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Met {
 		t.Fatalf("refinement did not reach target: final acc %.3f vs clean %.3f (%d steps)",
 			res.Accuracy, clean, len(res.Steps))
@@ -62,7 +66,10 @@ func TestRefineNoopWhenAlreadyGood(t *testing.T) {
 			choices = append(choices, Choice{Site: s, Component: exact.Component, ComponentNM: 0})
 		}
 	}
-	res := a.Refine(choices, profiles, clean, 0.02, 10)
+	res, err := a.Refine(context.Background(), choices, profiles, clean, 0.02, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Met || len(res.Steps) != 0 {
 		t.Fatalf("all-exact design should pass immediately: %+v", res)
 	}
@@ -80,7 +87,10 @@ func TestRefineGivesUpAtExact(t *testing.T) {
 	}
 	// Impossible target (above clean accuracy + 1): loop must terminate
 	// without panicking and report Met=false.
-	res := a.Refine(choices, profiles, 2.0, 0.0, 5)
+	res, err := a.Refine(context.Background(), choices, profiles, 2.0, 0.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Met {
 		t.Fatal("impossible target reported as met")
 	}

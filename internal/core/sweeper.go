@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redcane/internal/noise"
@@ -42,6 +46,14 @@ import (
 // frontier (e.g. the softmax and logits-update group sweeps); otherwise
 // batches are processed in windows that fit the bound, re-deriving the
 // prefix per window.
+//
+// The engine is additionally fault-tolerant: a panic inside a worker is
+// recovered and surfaced as a *JobPanicError naming the failing (point,
+// trial, batch) job instead of crashing the process, cancellation via
+// context stops dispatch at a batch boundary (in-flight jobs drain), and
+// when the Analyzer carries a checkpoint.Store each completed batch
+// window persists its per-(point, trial) correct-counts so a restarted
+// run resumes bit-identically where it left off.
 
 // prefixCache retains the clean activations at one frontier for the whole
 // evaluation set, one tensor per batch.
@@ -58,15 +70,61 @@ func (o Options) sweepWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// JobPanicError reports a panic recovered inside a sweep-engine worker,
+// carrying the coordinates of the failing evaluation job. Point indexes
+// Options.NMSweep; Point and Trial are -1 for clean-prefix jobs, which
+// evaluate no sweep point.
+type JobPanicError struct {
+	Point int
+	NM    float64
+	Trial int
+	Batch int
+	// Value is the recovered panic value; Stack the worker's stack at
+	// the point of the panic.
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *JobPanicError) Error() string {
+	if e.Point < 0 {
+		return fmt.Sprintf("sweep: worker panic computing clean prefix of batch %d: %v", e.Batch, e.Value)
+	}
+	return fmt.Sprintf("sweep: worker panic at point=%d (NM=%g) trial=%d batch=%d: %v",
+		e.Point, e.NM, e.Trial, e.Batch, e.Value)
+}
+
+// workerPanic is runJobs' internal panic capture; callers translate the
+// flat job index into domain coordinates.
+type workerPanic struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+func (e *workerPanic) Error() string {
+	return fmt.Sprintf("worker panic on job %d: %v", e.Job, e.Value)
+}
+
 // runJobs executes fn(j) for j in [0, jobs) on up to `workers`
 // goroutines, handing each worker a private scratch arena. fn must write
 // only to its own job's result slot; under that contract the outcome is
 // independent of scheduling.
 //
+// The pool is panic-safe and cancellable: a panic inside fn is recovered
+// and returned as a *workerPanic (first one wins; later jobs stop being
+// dispatched), and when ctx is cancelled dispatch stops at the next job
+// boundary while in-flight jobs drain, returning ctx.Err(). Partial
+// results are therefore incomplete whenever runJobs returns non-nil —
+// callers must discard them.
+//
 // With a non-nil o, each worker's busy time (wall time spent inside fn)
 // and its scratch arena's traffic are folded into the worker-pool gauges
 // after the pool drains; with a nil o the loop is untouched.
-func runJobs(o *obs.Obs, workers, jobs int, fn func(j int, s *tensor.Scratch)) {
+func runJobs(ctx context.Context, o *obs.Obs, workers, jobs int, fn func(j int, s *tensor.Scratch)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers > jobs {
 		workers = jobs
 	}
@@ -80,20 +138,44 @@ func runJobs(o *obs.Obs, workers, jobs int, fn func(j int, s *tensor.Scratch)) {
 		start = time.Now()
 		busy = make([]time.Duration, workers)
 	}
+
+	var failed atomic.Bool
+	var failMu sync.Mutex
+	var fail *workerPanic
+	record := func(j int, v any, stack []byte) {
+		failMu.Lock()
+		if fail == nil {
+			fail = &workerPanic{Job: j, Value: v, Stack: stack}
+		}
+		failMu.Unlock()
+		failed.Store(true)
+	}
+
 	scratches := make([]*tensor.Scratch, workers)
 	runOn := func(w, j int, s *tensor.Scratch) {
-		if m == nil {
-			fn(j, s)
-			return
+		if m != nil {
+			t0 := time.Now()
+			defer func() { busy[w] += time.Since(t0) }()
 		}
-		t0 := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				record(j, v, debug.Stack())
+			}
+		}()
 		fn(j, s)
-		busy[w] += time.Since(t0)
 	}
+	var cancelErr error
 	if workers == 1 {
 		s := tensor.NewScratch()
 		scratches[0] = s
 		for j := 0; j < jobs; j++ {
+			if err := ctx.Err(); err != nil {
+				cancelErr = err
+				break
+			}
+			if failed.Load() {
+				break
+			}
 			runOn(0, j, s)
 		}
 	} else {
@@ -110,34 +192,46 @@ func runJobs(o *obs.Obs, workers, jobs int, fn func(j int, s *tensor.Scratch)) {
 				}
 			}(w)
 		}
+	dispatch:
 		for j := 0; j < jobs; j++ {
-			ch <- j
+			if failed.Load() {
+				break
+			}
+			select {
+			case ch <- j:
+			case <-ctx.Done():
+				cancelErr = ctx.Err()
+				break dispatch
+			}
 		}
 		close(ch)
 		wg.Wait()
 	}
-	if m == nil {
-		return
+	if m != nil {
+		wall := time.Since(start)
+		var total time.Duration
+		for _, b := range busy {
+			total += b
+		}
+		m.Gauge("sweep.workers.busy_ns").Add(float64(total))
+		m.Gauge("sweep.workers.wall_ns").Add(float64(wall))
+		m.Gauge("sweep.workers.count").Set(float64(workers))
+		if wall > 0 && workers > 0 {
+			m.Gauge("sweep.workers.utilization").Set(float64(total) / (float64(wall) * float64(workers)))
+		}
+		var st tensor.ScratchStats
+		for _, s := range scratches {
+			st = st.Plus(s.Stats())
+		}
+		m.Gauge("tensor.scratch.takes").Add(float64(st.Takes))
+		m.Gauge("tensor.scratch.reuses").Add(float64(st.Reuses))
+		m.Gauge("tensor.scratch.allocs").Add(float64(st.Allocs))
+		m.Gauge("tensor.scratch.alloc_bytes").Add(float64(st.AllocBytes))
 	}
-	wall := time.Since(start)
-	var total time.Duration
-	for _, b := range busy {
-		total += b
+	if fail != nil {
+		return fail
 	}
-	m.Gauge("sweep.workers.busy_ns").Add(float64(total))
-	m.Gauge("sweep.workers.wall_ns").Add(float64(wall))
-	m.Gauge("sweep.workers.count").Set(float64(workers))
-	if wall > 0 && workers > 0 {
-		m.Gauge("sweep.workers.utilization").Set(float64(total) / (float64(wall) * float64(workers)))
-	}
-	var st tensor.ScratchStats
-	for _, s := range scratches {
-		st = st.Plus(s.Stats())
-	}
-	m.Gauge("tensor.scratch.takes").Add(float64(st.Takes))
-	m.Gauge("tensor.scratch.reuses").Add(float64(st.Reuses))
-	m.Gauge("tensor.scratch.allocs").Add(float64(st.Allocs))
-	m.Gauge("tensor.scratch.alloc_bytes").Add(float64(st.AllocBytes))
+	return cancelErr
 }
 
 // prefixBytesPerBatch estimates the byte size of one batch's clean
@@ -176,7 +270,7 @@ func (a *Analyzer) prefixWindow(frontier, nb int) int {
 // batches [b0, b1). When the window spans the whole evaluation set the
 // result is retained on the Analyzer and reused by subsequent sweeps with
 // the same frontier. frontier == 0 returns zero-copy views of x.
-func (a *Analyzer) prefixActivations(frontier int, x *tensor.Tensor, b0, b1, nb int) []*tensor.Tensor {
+func (a *Analyzer) prefixActivations(ctx context.Context, frontier int, x *tensor.Tensor, b0, b1, nb int) ([]*tensor.Tensor, error) {
 	n := x.Shape[0]
 	sample := x.Len() / n
 	batch := a.Opts.Batch
@@ -196,17 +290,24 @@ func (a *Analyzer) prefixActivations(frontier int, x *tensor.Tensor, b0, b1, nb 
 		for bi := b0; bi < b1; bi++ {
 			acts[bi-b0] = view(bi)
 		}
-		return acts
+		return acts, nil
 	}
 	whole := b0 == 0 && b1 == nb
 	if whole && a.pcache != nil && a.pcache.frontier == frontier {
 		a.Obs.Counter("sweep.prefix_cache.hits").Inc()
-		return a.pcache.acts
+		return a.pcache.acts, nil
 	}
 	a.Obs.Counter("sweep.prefix_cache.misses").Inc()
-	runJobs(a.Obs, a.Opts.sweepWorkers(), b1-b0, func(j int, _ *tensor.Scratch) {
+	err := runJobs(ctx, a.Obs, a.Opts.sweepWorkers(), b1-b0, func(j int, _ *tensor.Scratch) {
 		acts[j] = a.Net.ForwardTo(frontier, view(b0+j), noise.None{})
 	})
+	if err != nil {
+		var wp *workerPanic
+		if errors.As(err, &wp) {
+			return nil, &JobPanicError{Point: -1, Trial: -1, Batch: b0 + wp.Job, Value: wp.Value, Stack: wp.Stack}
+		}
+		return nil, err
+	}
 	if whole {
 		a.pcache = &prefixCache{frontier: frontier, acts: acts}
 		var bytes int64
@@ -217,21 +318,41 @@ func (a *Analyzer) prefixActivations(frontier int, x *tensor.Tensor, b0, b1, nb 
 		a.Obs.Debug("prefix cache retained",
 			obs.F("frontier", frontier), obs.F("batches", len(acts)), obs.F("bytes", bytes))
 	}
-	return acts
+	return acts, nil
 }
 
 // Sweep measures accuracy across the NM grid with the given site filter.
 // seedBase namespaces the RNG streams of distinct sweeps; reuse the same
-// value to reproduce a sweep bit-for-bit.
-func (a *Analyzer) Sweep(filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
-	return a.sweep(filter, clean, seedBase)
+// value to reproduce a sweep bit-for-bit. Cancelling ctx stops the sweep
+// at a batch-window boundary with ctx's error; a worker panic surfaces
+// as a *JobPanicError naming the failing (point, trial, batch) job.
+func (a *Analyzer) Sweep(ctx context.Context, filter noise.Filter, clean float64, seedBase uint64) ([]SweepPoint, error) {
+	return a.sweep(ctx, filter, clean, seedBase)
+}
+
+// sweepState is the checkpointed progress of one sweep: the per-(point,
+// trial) correct-counts summed over the first BatchesDone batches.
+type sweepState struct {
+	Correct     []int `json:"correct"`
+	BatchesDone int   `json:"batches_done"`
+	Done        bool  `json:"done"`
 }
 
 // sweep measures accuracy across the NM grid with the given site filter.
 // seedBase is a per-sweep counter folded into every job's RNG stream, so
 // distinct sweeps draw independent noise while identical configurations
 // reproduce bit-for-bit, regardless of Options.Workers.
-func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
+//
+// With a non-nil a.Checkpoint, the per-(point, trial) correct-counts are
+// persisted after every completed batch window under the key
+// "sweep-<seedBase>"; a later call with the same options resumes after
+// the last persisted window (or returns immediately when the sweep had
+// completed), producing bit-identical points because every job's noise
+// is a pure function of (seed, seedBase, point, trial, batch).
+func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64, seedBase uint64) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := a.Opts
 	x, y := a.evalData()
 	n := x.Shape[0]
@@ -251,23 +372,54 @@ func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []
 	}
 
 	correct := make([]int, len(evals)) // per (point, trial), summed over batches
+	totalJobs := len(evals) * nb
+
+	// Resume from the checkpointed window boundary, if any.
+	ckey := fmt.Sprintf("sweep-%d", seedBase)
+	startBatch := 0
+	if a.Checkpoint != nil {
+		var st sweepState
+		if a.Checkpoint.Get(ckey, &st) && len(st.Correct) == len(evals) &&
+			st.BatchesDone >= 0 && st.BatchesDone <= nb {
+			copy(correct, st.Correct)
+			startBatch = st.BatchesDone
+			if st.Done {
+				startBatch = nb
+			}
+			skipped := startBatch * len(evals)
+			a.Obs.Counter("sweep.resumed_jobs").Add(int64(skipped))
+			a.Obs.Info("sweep resumed from checkpoint",
+				obs.F("sweep", ckey),
+				obs.F("batches", fmt.Sprintf("%d/%d", startBatch, nb)),
+				obs.F("skipped_jobs", skipped))
+		}
+	}
+
 	window := a.prefixWindow(frontier, nb)
 	start := time.Now()
-	totalJobs := len(evals) * nb
-	doneJobs := 0
+	doneJobs := startBatch * len(evals)
 	a.Obs.Counter("sweep.sweeps").Inc()
-	a.Obs.Counter("sweep.jobs").Add(int64(totalJobs))
-	for b0 := 0; b0 < nb; b0 += window {
+	a.Obs.Counter("sweep.jobs").Add(int64(totalJobs - doneJobs))
+	for b0 := startBatch; b0 < nb; b0 += window {
+		if err := ctx.Err(); err != nil {
+			a.Obs.Warn("sweep cancelled",
+				obs.F("sweep", ckey),
+				obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
+			return nil, err
+		}
 		b1 := b0 + window
 		if b1 > nb {
 			b1 = nb
 		}
-		acts := a.prefixActivations(frontier, x, b0, b1, nb)
+		acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb)
+		if err != nil {
+			return nil, err
+		}
 
 		// One job per (point, trial, batch); each job owns its result slot.
 		nbw := b1 - b0
 		jobCorrect := make([]int, len(evals)*nbw)
-		runJobs(a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
+		err = runJobs(ctx, a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
 			e := evals[j/nbw]
 			bi := b0 + j%nbw
 			nm := o.NMSweep[e.pi]
@@ -283,19 +435,48 @@ func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []
 			}
 			jobCorrect[j] = c
 		})
+		if err != nil {
+			var wp *workerPanic
+			if errors.As(err, &wp) {
+				e := evals[wp.Job/nbw]
+				return nil, &JobPanicError{
+					Point: e.pi, NM: o.NMSweep[e.pi], Trial: e.trial, Batch: b0 + wp.Job%nbw,
+					Value: wp.Value, Stack: wp.Stack,
+				}
+			}
+			a.Obs.Warn("sweep cancelled",
+				obs.F("sweep", ckey),
+				obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
+			return nil, err
+		}
 		for j, c := range jobCorrect {
 			correct[j/nbw] += c
 		}
 		doneJobs += len(jobCorrect)
+		if a.Checkpoint != nil {
+			a.checkpointPut(ckey, sweepState{Correct: correct, BatchesDone: b1, Done: b1 == nb})
+		}
+		if a.afterWindow != nil {
+			a.afterWindow(b1, nb)
+		}
 		if a.Obs.Enabled(obs.Debug) && doneJobs < totalJobs {
 			elapsed := time.Since(start)
 			rate := float64(doneJobs) / elapsed.Seconds()
-			eta := time.Duration(float64(totalJobs-doneJobs) / rate * float64(time.Second))
-			a.Obs.Debug("sweep progress",
+			fields := []obs.Field{
 				obs.F("jobs", fmt.Sprintf("%d/%d", doneJobs, totalJobs)),
 				obs.F("jobs_per_sec", fmt.Sprintf("%.1f", rate)),
-				obs.F("eta", eta.Round(time.Second)))
+			}
+			// A zero rate (clock granularity, resumed runs doing no new
+			// work yet) would make the ETA division yield +Inf.
+			if rate > 0 {
+				eta := time.Duration(float64(totalJobs-doneJobs) / rate * float64(time.Second))
+				fields = append(fields, obs.F("eta", eta.Round(time.Second)))
+			}
+			a.Obs.Debug("sweep progress", fields...)
 		}
+	}
+	if a.Checkpoint != nil && startBatch < nb {
+		a.checkpointPut(ckey, sweepState{Correct: correct, BatchesDone: nb, Done: true})
 	}
 	if dur := time.Since(start); totalJobs > 0 {
 		a.Obs.Timer("sweep.duration").Observe(dur)
@@ -321,5 +502,5 @@ func (a *Analyzer) sweep(filter noise.Filter, clean float64, seedBase uint64) []
 		}
 		points[pi] = SweepPoint{NM: nm, Accuracy: acc, Drop: acc - clean}
 	}
-	return points
+	return points, nil
 }

@@ -1,11 +1,23 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"redcane/internal/caps"
 	"redcane/internal/noise"
 )
+
+// mustSweep runs a sweep with a background context, failing the test on
+// error — the ergonomic form for the many tests that never cancel.
+func mustSweep(t *testing.T, a *Analyzer, filter noise.Filter, clean float64, seedBase uint64) []SweepPoint {
+	t.Helper()
+	pts, err := a.sweep(context.Background(), filter, clean, seedBase)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return pts
+}
 
 // derived returns a copy of the shared analyzer with its own cold prefix
 // cache and a small batch size (the fixture's eval set is ~18 samples, so
@@ -45,11 +57,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	} {
 		base := derived(t)
 		base.Opts.Workers = 1
-		want := base.sweep(filter, clean, 3)
+		want := mustSweep(t, base, filter, clean, 3)
 		for _, workers := range []int{2, 8} {
 			b := derived(t)
 			b.Opts.Workers = workers
-			samePoints(t, "workers", want, b.sweep(filter, clean, 3))
+			samePoints(t, "workers", want, mustSweep(t, b, filter, clean, 3))
 		}
 	}
 }
@@ -65,7 +77,7 @@ func TestSweepWindowedMatchesCached(t *testing.T) {
 
 	cached := derived(t)
 	cached.Opts.PrefixCacheMB = 1 << 10
-	want := cached.sweep(filter, clean, 4)
+	want := mustSweep(t, cached, filter, clean, 4)
 	if cached.pcache == nil {
 		t.Fatal("large budget did not retain the whole-set prefix cache")
 	}
@@ -80,7 +92,7 @@ func TestSweepWindowedMatchesCached(t *testing.T) {
 	if w := windowed.prefixWindow(frontier, nb); w != 1 {
 		t.Fatalf("window = %d, want 1", w)
 	}
-	samePoints(t, "windowed vs cached", want, windowed.sweep(filter, clean, 4))
+	samePoints(t, "windowed vs cached", want, mustSweep(t, windowed, filter, clean, 4))
 	if windowed.pcache != nil {
 		t.Fatal("windowed run must not retain a partial prefix cache")
 	}
@@ -94,23 +106,23 @@ func TestSweepPrefixCacheReuse(t *testing.T) {
 	x, y := a.evalData()
 	clean := caps.Accuracy(a.Net, x, y, noise.None{}, a.Opts.Batch)
 
-	softmax := a.sweep(noise.ForGroup(noise.Softmax), clean, 5)
+	softmax := mustSweep(t, a, noise.ForGroup(noise.Softmax), clean, 5)
 	if a.pcache == nil || a.pcache.frontier == 0 {
 		t.Fatalf("no prefix cache after softmax sweep: %+v", a.pcache)
 	}
 	first := a.pcache
-	logits := a.sweep(noise.ForGroup(noise.LogitsUpdate), clean, 6)
+	logits := mustSweep(t, a, noise.ForGroup(noise.LogitsUpdate), clean, 6)
 	if a.pcache != first {
 		t.Fatal("logits-update sweep rebuilt the cache despite equal frontier")
 	}
 
 	cold := derived(t)
-	samePoints(t, "warm vs cold (softmax)", softmax, cold.sweep(noise.ForGroup(noise.Softmax), clean, 5))
+	samePoints(t, "warm vs cold (softmax)", softmax, mustSweep(t, cold, noise.ForGroup(noise.Softmax), clean, 5))
 	cold2 := derived(t)
-	samePoints(t, "warm vs cold (logits)", logits, cold2.sweep(noise.ForGroup(noise.LogitsUpdate), clean, 6))
+	samePoints(t, "warm vs cold (logits)", logits, mustSweep(t, cold2, noise.ForGroup(noise.LogitsUpdate), clean, 6))
 
 	// A frontier-0 sweep must bypass (and preserve) the cache.
-	a.sweep(noise.ForGroup(noise.MACOutputs), clean, 7)
+	mustSweep(t, a, noise.ForGroup(noise.MACOutputs), clean, 7)
 	if a.pcache != first {
 		t.Fatal("frontier-0 sweep disturbed the prefix cache")
 	}

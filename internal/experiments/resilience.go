@@ -99,23 +99,32 @@ func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := core.Options{
+		NMSweep:   core.PaperNMSweep,
+		Trials:    r.trials(),
+		Batch:     32,
+		Threshold: r.threshold(),
+		Seed:      r.Cfg.Seed + 21,
+		MaxEval:   r.evalCap(),
+		Workers:   r.Cfg.Workers,
+	}.WithDefaults()
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data, Obs: r.obs(),
-		Opts: core.Options{
-			NMSweep:   core.PaperNMSweep,
-			Trials:    r.trials(),
-			Batch:     32,
-			Threshold: r.threshold(),
-			Seed:      r.Cfg.Seed + 21,
-			MaxEval:   r.evalCap(),
-			Workers:   r.Cfg.Workers,
-		}.WithDefaults(),
+		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
+		Checkpoint: r.analysisCheckpoint(b, opts),
 	}
-	clean := a.CleanAccuracy()
+	ctx := r.ctx()
+	clean, err := a.CleanAccuracyCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := a.AnalyzeGroups(ctx, clean)
+	if err != nil {
+		return nil, err
+	}
 	return &GroupSweepResult{
 		Benchmark: b,
 		Clean:     clean,
-		Groups:    a.AnalyzeGroups(clean),
+		Groups:    groups,
 	}, nil
 }
 
@@ -200,21 +209,32 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := core.Options{
+		NMSweep:   core.PaperNMSweep,
+		Trials:    r.trials(),
+		Batch:     32,
+		Threshold: r.threshold(),
+		Seed:      r.Cfg.Seed + 22,
+		MaxEval:   r.evalCap(),
+		Workers:   r.Cfg.Workers,
+	}.WithDefaults()
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data, Obs: r.obs(),
-		Opts: core.Options{
-			NMSweep:   core.PaperNMSweep,
-			Trials:    r.trials(),
-			Batch:     32,
-			Threshold: r.threshold(),
-			Seed:      r.Cfg.Seed + 22,
-			MaxEval:   r.evalCap(),
-			Workers:   r.Cfg.Workers,
-		}.WithDefaults(),
+		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
+		Checkpoint: r.analysisCheckpoint(Benchmarks[0], opts),
 	}
-	clean := a.CleanAccuracy()
-	groups := a.AnalyzeGroups(clean)
-	layers := a.AnalyzeLayers(groups, clean)
+	ctx := r.ctx()
+	clean, err := a.CleanAccuracyCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := a.AnalyzeGroups(ctx, clean)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := a.AnalyzeLayers(ctx, groups, clean)
+	if err != nil {
+		return nil, err
+	}
 	return &Fig10Result{Benchmark: Benchmarks[0], Clean: clean, Layers: layers}, nil
 }
 
@@ -259,18 +279,23 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 	}
 	profiles := core.ProfileLibrary(
 		approx.EmpiricalDist(fig11.PoolA, fig11.PoolB), 9, samples, r.Cfg.Seed+9)
+	opts := core.Options{
+		Trials:    r.trials(),
+		Batch:     32,
+		Threshold: r.threshold(),
+		Seed:      r.Cfg.Seed + 23,
+		MaxEval:   r.evalCap(),
+		Workers:   r.Cfg.Workers,
+	}.WithDefaults()
 	a := &core.Analyzer{
-		Net: t.Net, Data: t.Data, Obs: r.obs(),
-		Opts: core.Options{
-			Trials:    r.trials(),
-			Batch:     32,
-			Threshold: r.threshold(),
-			Seed:      r.Cfg.Seed + 23,
-			MaxEval:   r.evalCap(),
-			Workers:   r.Cfg.Workers,
-		},
+		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
+		Checkpoint: r.analysisCheckpoint(b, opts),
 	}
-	return &DesignResult{Report: a.Run(profiles), profiles: profiles}, nil
+	report, err := a.RunMethodology(r.ctx(), profiles)
+	if err != nil {
+		return nil, err
+	}
+	return &DesignResult{Report: report, profiles: profiles}, nil
 }
 
 // Render formats the design report.
@@ -295,5 +320,5 @@ func (r *Runner) RefineDesign(b Benchmark, d *DesignResult) (core.RefineResult, 
 			Workers:   r.Cfg.Workers,
 		},
 	}
-	return a.Refine(d.Report.Choices, d.profiles, d.Report.CleanAccuracy, r.threshold(), 50), nil
+	return a.Refine(r.ctx(), d.Report.Choices, d.profiles, d.Report.CleanAccuracy, r.threshold(), 50)
 }

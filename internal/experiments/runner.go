@@ -7,12 +7,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"redcane/internal/caps"
+	"redcane/internal/checkpoint"
+	"redcane/internal/core"
 	"redcane/internal/datasets"
 	"redcane/internal/models"
 	"redcane/internal/noise"
@@ -24,7 +28,8 @@ import (
 
 // Config controls dataset sizes, training effort and evaluation depth.
 type Config struct {
-	// Dir caches trained weights between runs ("" disables caching).
+	// Dir caches trained weights (and, with Checkpoint set, analysis
+	// checkpoints) between runs ("" disables caching).
 	Dir string
 	// Quick shrinks datasets, epochs and evaluation sizes so the whole
 	// suite runs in CI/benchmark time budgets.
@@ -42,6 +47,16 @@ type Config struct {
 	// Workers bounds the sweep engine's evaluation goroutines
 	// (0 = runtime.GOMAXPROCS(0)); results are identical for any value.
 	Workers int
+	// Ctx, when non-nil, cancels long-running work (training epochs,
+	// resilience sweeps, refinement rounds) at the next batch boundary.
+	// A nil Ctx means run to completion (context.Background()).
+	Ctx context.Context
+	// Checkpoint persists completed analysis work (sweep windows,
+	// finished methodology steps) under Dir, keyed by (benchmark, seed,
+	// options fingerprint), so an interrupted design/refine/experiment
+	// run resumes bit-identically. Requires Dir; cancellation works
+	// without it, resume does not.
+	Checkpoint bool
 }
 
 // Benchmark is one (architecture, dataset) pair of the paper's Table II.
@@ -92,6 +107,47 @@ func NewRunner(cfg Config) *Runner {
 
 // obs returns the runner's telemetry handle (nil-safe everywhere).
 func (r *Runner) obs() *obs.Obs { return r.Cfg.Obs }
+
+// ctx returns the runner's cancellation context (never nil).
+func (r *Runner) ctx() context.Context {
+	if r.Cfg.Ctx != nil {
+		return r.Cfg.Ctx
+	}
+	return context.Background()
+}
+
+// mode is the cache-key suffix distinguishing quick from full runs.
+func (r *Runner) mode() string {
+	if r.Cfg.Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// analysisCheckpoint opens (or resumes) the on-disk checkpoint store for
+// one benchmark's analysis, keyed by (benchmark+mode, seed, options
+// fingerprint). Returns nil when checkpointing is off or Dir is unset;
+// open failures degrade to no checkpointing with a warning, never an
+// aborted run.
+func (r *Runner) analysisCheckpoint(b Benchmark, opts core.Options) *checkpoint.Store {
+	if !r.Cfg.Checkpoint || r.Cfg.Dir == "" {
+		return nil
+	}
+	name := b.Key() + "-" + r.mode()
+	st, resumed, err := checkpoint.Open(r.Cfg.Dir, name, r.Cfg.Seed, opts.Fingerprint())
+	if err != nil {
+		r.obs().Warn("checkpoint open failed; continuing without resume",
+			obs.F("benchmark", name), obs.F("err", err))
+	}
+	if st == nil {
+		return nil
+	}
+	if resumed {
+		r.obs().Info("resuming analysis from checkpoint",
+			obs.F("benchmark", name), obs.F("path", st.Path()))
+	}
+	return st
+}
 
 func (r *Runner) splitSizes() (trainN, testN int) {
 	if r.Cfg.Quick {
@@ -187,20 +243,29 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 		return nil, err
 	}
 
-	mode := "full"
-	if r.Cfg.Quick {
-		mode = "quick"
-	}
 	var cachePath string
 	if r.Cfg.Dir != "" {
-		cachePath = filepath.Join(r.Cfg.Dir, fmt.Sprintf("%s-%s-seed%d.gob", key, mode, r.Cfg.Seed))
+		cachePath = filepath.Join(r.Cfg.Dir, fmt.Sprintf("%s-%s-seed%d.gob", key, r.mode(), r.Cfg.Seed))
 		if store, err := params.Load(cachePath); err == nil {
 			if err := store.LoadInto(net.Params()); err == nil {
 				r.obs().Debug("weight cache hit", obs.F("benchmark", key), obs.F("path", cachePath))
-				t := r.finish(b, net, ds)
+				t, err := r.finish(b, net, ds)
+				if err != nil {
+					return nil, err
+				}
 				r.cache[key] = t
 				return t, nil
+			} else {
+				// A present-but-incompatible cache (e.g. stale layout after a
+				// model change) is discarded and retrained — loudly, so users
+				// know why the run is slow and can delete the file.
+				r.obs().Warn("weight cache present but unusable; retraining",
+					obs.F("benchmark", key), obs.F("path", cachePath), obs.F("err", err))
 			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// Same for a file that exists but cannot even be decoded.
+			r.obs().Warn("weight cache present but unusable; retraining",
+				obs.F("benchmark", key), obs.F("path", cachePath), obs.F("err", err))
 		}
 	}
 
@@ -221,7 +286,7 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 	train.LSUVInit(m, calib, 0.5)
 	sp.End()
 	sp = r.obs().StartSpan("train.fit", obs.F("benchmark", key))
-	train.Fit(m, ds, train.Config{
+	_, err = train.FitCtx(r.ctx(), m, ds, train.Config{
 		Epochs:    r.epochs(b.Arch),
 		BatchSize: 32,
 		LR:        1.5e-3,
@@ -230,6 +295,11 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 		Log:       r.obs().LineWriter(obs.Debug),
 	})
 	sp.End()
+	if err != nil {
+		// Cancelled mid-training: the weights are partial, so nothing is
+		// cached — a rerun restarts this benchmark's training from scratch.
+		return nil, fmt.Errorf("train %s: %w", key, err)
+	}
 	store := params.FromParams(m.ParamMap())
 	if err := store.LoadInto(net.Params()); err != nil {
 		return nil, err
@@ -245,7 +315,10 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 				obs.F("path", cachePath), obs.F("err", err))
 		}
 	}
-	t := r.finish(b, net, ds)
+	t, err := r.finish(b, net, ds)
+	if err != nil {
+		return nil, err
+	}
 	total.End()
 	r.obs().Info("trained benchmark", obs.F("benchmark", key),
 		obs.F("test_acc", fmt.Sprintf("%.2f%%", 100*t.TestAcc)))
@@ -253,10 +326,13 @@ func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 	return t, nil
 }
 
-func (r *Runner) finish(b Benchmark, net *caps.Network, ds *datasets.Dataset) *Trained {
+func (r *Runner) finish(b Benchmark, net *caps.Network, ds *datasets.Dataset) (*Trained, error) {
 	net.Obs = r.obs()
 	sp := r.obs().StartSpan("train.eval", obs.F("benchmark", b.Key()))
-	acc := caps.Accuracy(net, ds.TestX, ds.TestY, noise.None{}, 32)
+	acc, err := caps.AccuracyCtx(r.ctx(), net, ds.TestX, ds.TestY, noise.None{}, 32, 0)
 	sp.End()
-	return &Trained{Benchmark: b, Net: net, Data: ds, TestAcc: acc}
+	if err != nil {
+		return nil, fmt.Errorf("evaluate %s: %w", b.Key(), err)
+	}
+	return &Trained{Benchmark: b, Net: net, Data: ds, TestAcc: acc}, nil
 }

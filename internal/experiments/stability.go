@@ -48,9 +48,16 @@ func (r *Runner) Stability(b Benchmark, n int) (*StabilityResult, error) {
 				Workers:   r.Cfg.Workers,
 			}.WithDefaults(),
 		}
-		clean := a.CleanAccuracy()
+		clean, err := a.CleanAccuracyCtx(r.ctx())
+		if err != nil {
+			return nil, err
+		}
+		groups, err := a.AnalyzeGroups(r.ctx(), clean)
+		if err != nil {
+			return nil, err
+		}
 		tol := map[noise.Group]float64{}
-		for _, g := range a.AnalyzeGroups(clean) {
+		for _, g := range groups {
 			tol[g.Group] = g.ToleratedNM
 			sums[g.Group] = append(sums[g.Group], g.ToleratedNM)
 		}

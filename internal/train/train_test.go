@@ -1,6 +1,8 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -249,4 +251,29 @@ func filterClasses(d *datasets.Dataset, k int) *datasets.Dataset {
 	out.TrainX, out.TrainY = pick(d.TrainX, d.TrainY)
 	out.TestX, out.TestY = pick(d.TestX, d.TestY)
 	return out
+}
+
+func TestFitCtxCancellation(t *testing.T) {
+	ds := datasets.MNISTLike(60, 20, 42)
+	ds = filterClasses(ds, 3)
+	m := &Model{ModelName: "tiny", Layers: []Layer{
+		NewConv2D("Conv2D", 1, 4, 9, 2, 0, true, 1),
+		NewClassCaps("ClassCaps", 4*6*6/4, 4, 3, 6, 3, 3),
+	}}
+
+	// A pre-cancelled context stops before the first batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := FitCtx(ctx, m, ds, Config{Epochs: 2, BatchSize: 12, LR: 1e-3, Seed: 7})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if res.Epochs != 0 {
+		t.Fatalf("cancelled run reported %d epochs", res.Epochs)
+	}
+
+	// A background context behaves exactly like the legacy Fit wrapper.
+	if _, err := FitCtx(context.Background(), m, ds, Config{Epochs: 1, BatchSize: 12, LR: 1e-3, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
 }

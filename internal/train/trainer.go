@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -36,6 +37,22 @@ type Result struct {
 
 // Fit trains the model on the dataset with Adam and the margin loss.
 func Fit(m *Model, ds *datasets.Dataset, cfg Config) Result {
+	res, err := FitCtx(context.Background(), m, ds, cfg)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// FitCtx is Fit with cancellation: when ctx is cancelled training stops
+// at the next batch boundary and returns ctx's error. The model then
+// holds partially trained weights — callers must not cache them as a
+// finished run (training is restarted, not resumed, on a rerun).
+func FitCtx(ctx context.Context, m *Model, ds *datasets.Dataset, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
 	}
@@ -60,6 +77,9 @@ func Fit(m *Model, ds *datasets.Dataset, cfg Config) Result {
 		epochLoss := 0.0
 		batches := 0
 		for lo := 0; lo < n; lo += cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return Result{FinalLoss: lastLoss, Epochs: epoch}, err
+			}
 			hi := lo + cfg.BatchSize
 			if hi > n {
 				hi = n
@@ -103,7 +123,7 @@ func Fit(m *Model, ds *datasets.Dataset, cfg Config) Result {
 		TrainAccuracy: Evaluate(m, ds.TrainX, ds.TrainY, cfg.BatchSize),
 		TestAccuracy:  Evaluate(m, ds.TestX, ds.TestY, cfg.BatchSize),
 		Epochs:        cfg.Epochs,
-	}
+	}, nil
 }
 
 // clipGrads rescales all gradients so their global L2 norm is at most c.
