@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet lint bench clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint = vet plus staticcheck when installed (CI installs it; locally it
+# is optional and skipped with a note).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # bench runs the kernel + sweep-engine benchmarks and writes BENCH_1.json
 # (ns/op per benchmark plus engine-vs-naive sweep speedups).

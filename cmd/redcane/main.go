@@ -15,6 +15,10 @@
 //	                          ablation-routing ablation-lut ablation-na, or all
 //	design [benchmark]        run the 6-step methodology (default capsnet-mnist-like)
 //	refine [benchmark]        design plus the validate-and-repair refinement loop
+//	validate [benchmark]      run the selected design bit-accurately on the
+//	                          -backend execution backend and compare measured
+//	                          accuracy with the noise model's prediction per
+//	                          design, group, and MAC layer
 //	characterize [component]  error profiles of one or all library multipliers
 //	energy                    the energy analysis bundle (table1 + fig4 + fig5)
 //	list                      list benchmarks and experiment ids
@@ -30,6 +34,9 @@
 //	            resume bit-identically (default true)
 //	-csv        also write machine-readable CSVs into this directory
 //	-json       write the design report as JSON to this file (design/refine)
+//	-backend    execution backend for validate: float, quant-exact, or
+//	            quant-approx (default quant-approx)
+//	-bits       operand wordlength of the quantized backends (default 8)
 //	-v          shorthand for -log-level info
 //	-log-level  event verbosity: debug, info, warn (default), error, off
 //	-metrics    write a JSON telemetry snapshot (counters/gauges/timers:
@@ -76,6 +83,8 @@ func main() {
 	checkpointOn := flag.Bool("checkpoint", true, "persist analysis progress under -dir so interrupted runs resume")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	jsonPath := flag.String("json", "", "write the design report as JSON to this file (design/refine)")
+	backend := flag.String("backend", "quant-approx", "validate execution backend: float|quant-exact|quant-approx")
+	bits := flag.Uint("bits", 8, "operand wordlength of the quantized backends")
 	verbose := flag.Bool("v", false, "shorthand for -log-level info")
 	logLevel := flag.String("log-level", "", "event verbosity: debug|info|warn|error|off (default warn)")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file on exit")
@@ -135,7 +144,7 @@ func main() {
 		Ctx: runCtx, Checkpoint: *checkpointOn,
 	}
 	r := experiments.NewRunner(cfg)
-	c := &cli{runner: r, obs: o, csvDir: *csvDir, jsonPath: *jsonPath}
+	c := &cli{runner: r, obs: o, csvDir: *csvDir, jsonPath: *jsonPath, backend: *backend, bits: *bits}
 	runErr := c.run(os.Stdout, flag.Arg(0), flag.Args()[1:])
 	signal.Stop(sig)
 	cancel()
@@ -214,6 +223,9 @@ commands:
                             ablation-range, stability, accel
   design [benchmark]        full 6-step methodology (see 'list')
   refine [benchmark]        design + validate-and-repair refinement loop
+  validate [benchmark]      run the selected design bit-accurately on the
+                            -backend backend; compare measured accuracy with
+                            the noise model per design, group, and MAC layer
   characterize [component]  multiplier error profiles
   energy                    table1 + fig4 + fig5
   list                      benchmarks and experiment ids
@@ -229,6 +241,10 @@ flags:
   -csv dir       also write machine-readable CSVs into this directory
   -json file     write the design report as JSON (design/refine; refine
                  includes the repaired choices and repair trace)
+  -backend name  validate execution backend: float, quant-exact, or
+                 quant-approx (default quant-approx)
+  -bits n        operand wordlength of the quantized backends (default 8;
+                 approximate multipliers require n <= 8)
   -v             shorthand for -log-level info
   -log-level l   event verbosity: debug|info|warn|error|off (default warn)
   -metrics file  write a JSON telemetry snapshot on exit
@@ -246,6 +262,8 @@ type cli struct {
 	obs      *obs.Obs
 	csvDir   string
 	jsonPath string
+	backend  string
+	bits     uint
 }
 
 func (c *cli) run(w io.Writer, cmd string, args []string) error {
@@ -305,6 +323,28 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 			} else if err := res.Report.WriteJSON(f); err != nil {
 				return err
 			}
+		}
+		return nil
+	case "validate":
+		b := experiments.Benchmarks[4]
+		if len(args) == 1 {
+			var ok bool
+			b, ok = findBenchmark(args[0])
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q; see 'redcane list'", args[0])
+			}
+		}
+		backend := c.backend
+		if backend == "" {
+			backend = "quant-approx"
+		}
+		res, err := r.Validate(b, backend, c.bits)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Render())
+		if c.csvDir != "" {
+			return c.writeCSV("validate", res)
 		}
 		return nil
 	case "characterize":

@@ -54,6 +54,23 @@ func TestUnknownBenchmarkErrors(t *testing.T) {
 	if err := testCLI(t).run(&b, "design", []string{"nope"}); err == nil {
 		t.Fatal("expected error for unknown benchmark")
 	}
+	if err := testCLI(t).run(&b, "validate", []string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestValidateUnknownBackendErrors(t *testing.T) {
+	// A backend typo must fail before any training or analysis runs.
+	c := testCLI(t)
+	c.backend = "fpga"
+	var b strings.Builder
+	err := c.run(&b, "validate", nil)
+	if err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+	if !strings.Contains(err.Error(), "fpga") || !strings.Contains(err.Error(), "quant-approx") {
+		t.Fatalf("error should name the bad backend and the valid ones: %v", err)
+	}
 }
 
 func TestEnergyBundleCommand(t *testing.T) {
@@ -96,8 +113,9 @@ func TestUsageDocumentsAllCommandsAndFlags(t *testing.T) {
 	usage(&b)
 	out := b.String()
 	for _, want := range []string{
-		"train", "experiment", "design", "refine", "characterize", "energy", "list",
+		"train", "experiment", "design", "refine", "validate", "characterize", "energy", "list",
 		"-dir", "-quick", "-seed", "-workers", "-checkpoint", "-csv", "-json", "-v",
+		"-backend", "-bits", "quant-approx",
 		"-log-level", "-metrics", "-pprof", "-cpuprofile",
 		"exit codes", "130",
 	} {

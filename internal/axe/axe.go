@@ -1,37 +1,66 @@
-// Package axe is the approximate-execution engine: it runs a trained
-// CapsNet's convolutions through genuine 8-bit quantized arithmetic with
-// behavioral approximate-multiplier LUTs (int32 accumulation), instead of
-// modeling the error as injected Gaussian noise.
+// Package axe provides the quantized execution backends: it runs a
+// trained CapsNet's MAC kernels through genuine b-bit affine-quantized
+// arithmetic — exactly (QuantExact) or through behavioral
+// approximate-multiplier LUTs (QuantApprox) — instead of modeling the
+// error as injected Gaussian noise.
 //
 // The paper validates its noise model by construction (Fig. 6 shows the
-// component errors are Gaussian-like); this engine closes the loop
-// empirically: accuracy under true approximate arithmetic can be compared
-// against the accuracy the noise model predicts for the same components
-// (the BenchmarkAblationNoiseVsLUT experiment).
+// component errors are Gaussian-like); these backends close the loop
+// empirically: both implement caps.Backend, so accuracy under true
+// approximate arithmetic is measured by the same engine (workers,
+// prefix caching, checkpoints, telemetry) that evaluates the noise
+// model's prediction, and the two can be compared per group and per
+// layer (the `redcane validate` experiment).
 package axe
 
 import (
 	"fmt"
 
 	"redcane/internal/approx"
-	"redcane/internal/caps"
 	"redcane/internal/fixed"
-	"redcane/internal/noise"
 	"redcane/internal/tensor"
 )
 
-// QuantConv2D convolves x [n, inCh, h, w] with kernels w [outCh, inCh, k, k]
-// using b-bit affine-quantized operands and the given multiplier for every
-// partial product, accumulating exactly. Bias (may be nil) is added in
-// float. Both quantizers are calibrated per call on the full tensors, the
-// same per-array ranging the paper's noise model uses.
-func QuantConv2D(x, w, bias *tensor.Tensor, stride, pad int, mult approx.Multiplier, bits uint) *tensor.Tensor {
-	if bits > 8 {
-		panic(fmt.Sprintf("axe: multiplier LUTs are 8-bit, got %d", bits))
+// macMul is the multiplier plugged into the quantized MAC kernels. It is
+// a type parameter (not an interface field) so the per-product call
+// inlines into the inner accumulation loops.
+type macMul interface {
+	// mul returns the (possibly approximate) product of two operand
+	// codes. Codes are ≤ 8 bits for LUT multipliers, ≤ 16 bits exact.
+	mul(a, b uint16) uint32
+}
+
+// exactMul multiplies operand codes exactly (any wordlength up to 16).
+type exactMul struct{}
+
+func (exactMul) mul(a, b uint16) uint32 { return uint32(a) * uint32(b) }
+
+// lutMul multiplies 8-bit operand codes through a compiled behavioral
+// LUT.
+type lutMul struct{ t *approx.LUT }
+
+func (m lutMul) mul(a, b uint16) uint32 { return uint32(m.t.Mul(uint8(a), uint8(b))) }
+
+// quantizeCodes calibrates a b-bit affine quantizer on t and encodes
+// every element into a scratch-recycled code buffer.
+func quantizeCodes(t *tensor.Tensor, bits uint, s *tensor.Scratch) (fixed.Quantizer, []uint16) {
+	q := fixed.Calibrate(t, bits)
+	codes := s.TakeU16(t.Len())
+	for i, v := range t.Data {
+		codes[i] = q.Quantize(v)
 	}
-	qx := fixed.Calibrate(x, bits)
-	qw := fixed.Calibrate(w, bits)
-	lut := approx.CompileLUT(mult)
+	return q, codes
+}
+
+// quantConv2D convolves x [n, inCh, h, w] with kernels w [outCh, inCh,
+// k, k] using b-bit affine-quantized operands and m for every partial
+// product, accumulating exactly. Bias (may be nil) is added in float.
+// Both quantizers are calibrated per call on the full tensors, the same
+// per-array ranging the paper's noise model uses. The output may come
+// from the scratch arena; callers release it.
+func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits uint, s *tensor.Scratch) *tensor.Tensor {
+	qx, xq := quantizeCodes(x, bits, s)
+	qw, wq := quantizeCodes(w, bits, s)
 
 	spec := tensor.ConvSpec{
 		KH: w.Shape[2], KW: w.Shape[3], Stride: stride, Pad: pad,
@@ -40,29 +69,19 @@ func QuantConv2D(x, w, bias *tensor.Tensor, stride, pad int, mult approx.Multipl
 	n, h, wd := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := spec.OutSize(h, wd)
 
-	// Quantize operands once.
-	xq := make([]uint8, x.Len())
-	for i, v := range x.Data {
-		xq[i] = uint8(qx.Quantize(v))
-	}
-	wq := make([]uint8, w.Len())
-	for i, v := range w.Data {
-		wq[i] = uint8(qw.Quantize(v))
-	}
-
 	// Zero-point handling: value = min + step·code. The cross terms need
 	// Σcode_x and Σcode_w per output; padding contributes code 0 but
 	// *value* 0, so pad positions are skipped entirely.
 	k := spec.KH * spec.KW
 	patch := spec.InCh * k
-	out := tensor.New(n, spec.OutCh, oh, ow)
+	out := s.Take(n, spec.OutCh, oh, ow)
 	sumWq := make([]int64, spec.OutCh)
 	for oc := 0; oc < spec.OutCh; oc++ {
-		s := int64(0)
+		sum := int64(0)
 		for i := 0; i < patch; i++ {
-			s += int64(wq[oc*patch+i])
+			sum += int64(wq[oc*patch+i])
 		}
-		sumWq[oc] = s
+		sumWq[oc] = sum
 	}
 
 	sx, mx := qx.Step(), qx.Min
@@ -88,7 +107,7 @@ func QuantConv2D(x, w, bias *tensor.Tensor, stride, pad int, mult approx.Multipl
 									continue
 								}
 								xc := xq[((b*spec.InCh+ci)*h+iy)*wd+ix]
-								lutSum += int64(lut.Mul(xc, wq[widx]))
+								lutSum += int64(m.mul(xc, wq[widx]))
 								xSum += int64(xc)
 							}
 						}
@@ -123,105 +142,17 @@ func QuantConv2D(x, w, bias *tensor.Tensor, stride, pad int, mult approx.Multipl
 			}
 		}
 	}
+	s.ReleaseU16(xq, wq)
 	return out
 }
 
-// Engine executes a caps.Network with approximate quantized convolutions
-// on the layers named in Mults; everything else (squash, routing, the
-// remaining layers) runs accurately in float.
-type Engine struct {
-	Net *caps.Network
-	// Mults maps layer names to the multiplier driving their MACs.
-	Mults map[string]approx.Multiplier
-	// Bits is the operand wordlength (default 8 when zero).
-	Bits uint
-}
-
-func (e *Engine) bits() uint {
-	if e.Bits == 0 {
-		return fixed.DefaultBits
+// QuantConv2D convolves with b-bit quantized operands and the given
+// approximate multiplier for every partial product. It is the standalone
+// kernel entry point (the backends wrap it with operand-buffer reuse);
+// multiplier LUTs are 8-bit, so bits must be ≤ 8.
+func QuantConv2D(x, w, bias *tensor.Tensor, stride, pad int, mult approx.Multiplier, bits uint) *tensor.Tensor {
+	if bits > 8 {
+		panic(fmt.Sprintf("axe: multiplier LUTs are 8-bit, got %d", bits))
 	}
-	return e.Bits
-}
-
-// Forward runs the network, substituting approximate convolutions.
-func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
-	for _, l := range e.Net.Layers {
-		x = e.forwardLayer(l, x)
-	}
-	return x
-}
-
-func (e *Engine) forwardLayer(l caps.Layer, x *tensor.Tensor) *tensor.Tensor {
-	if out, handled := e.forwardRoutingLayer(l, x); handled {
-		return out
-	}
-	switch v := l.(type) {
-	case *caps.Conv2D:
-		if m, ok := e.Mults[v.LayerName]; ok {
-			y := QuantConv2D(x, v.W, v.B, v.Stride, v.Pad, m, e.bits())
-			if v.ReLU {
-				y = tensor.ReLU(y)
-			}
-			return y
-		}
-	case *caps.ConvCaps2D:
-		if m, ok := e.Mults[v.LayerName]; ok {
-			y := QuantConv2D(x, v.W, v.B, v.Stride, v.Pad, m, e.bits())
-			n, h, w := y.Shape[0], y.Shape[2], y.Shape[3]
-			sq := tensor.Squash(y.Reshape(n, v.Caps, v.Dim, h, w), 2)
-			return sq.Reshape(n, v.Caps*v.Dim, h, w)
-		}
-	case *caps.CapsCell:
-		a := e.forwardLayer(v.L1, x)
-		main := e.forwardLayer(v.L3, e.forwardLayer(v.L2, a))
-		skip := e.forwardLayer(v.Skip, a)
-		return tensor.Add(main, skip)
-	}
-	return l.Forward(x, noise.None{})
-}
-
-// Classify returns predicted classes under approximate execution.
-func (e *Engine) Classify(x *tensor.Tensor) []int {
-	out := e.Forward(x)
-	scores := tensor.NormAxis(out, 2)
-	batch, classes := scores.Shape[0], scores.Shape[1]
-	preds := make([]int, batch)
-	for b := 0; b < batch; b++ {
-		best, arg := scores.At(b, 0), 0
-		for c := 1; c < classes; c++ {
-			if v := scores.At(b, c); v > best {
-				best, arg = v, c
-			}
-		}
-		preds[b] = arg
-	}
-	return preds
-}
-
-// Accuracy evaluates the approximate design's classification accuracy.
-func Accuracy(e *Engine, x *tensor.Tensor, labels []int, batch int) float64 {
-	n := x.Shape[0]
-	if n == 0 {
-		return 0
-	}
-	if batch <= 0 {
-		batch = 32
-	}
-	sample := x.Len() / n
-	correct := 0
-	for lo := 0; lo < n; lo += batch {
-		hi := lo + batch
-		if hi > n {
-			hi = n
-		}
-		shape := append([]int{hi - lo}, x.Shape[1:]...)
-		xb := tensor.NewFrom(x.Data[lo*sample:hi*sample], shape...)
-		for i, p := range e.Classify(xb) {
-			if p == labels[lo+i] {
-				correct++
-			}
-		}
-	}
-	return float64(correct) / float64(n)
+	return quantConv2D(lutMul{approx.CompileLUT(mult)}, x, w, bias, stride, pad, bits, nil)
 }

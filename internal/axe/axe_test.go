@@ -1,7 +1,9 @@
 package axe
 
 import (
+	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"redcane/internal/approx"
@@ -98,12 +100,59 @@ func buildTinyNet(seed uint64) *caps.Network {
 	}
 }
 
-func TestEngineMatchesAccurateNetworkWithExactMultiplier(t *testing.T) {
+// buildRoutingNet extends the tiny net with a ConvCaps3D so routing-MAC
+// coverage (vote convolutions and class-capsule votes) is exercised.
+func buildRoutingNet(seed uint64) *caps.Network {
+	return &caps.Network{
+		NetName:    "tiny3d",
+		InputShape: []int{1, 6, 6},
+		Layers: []caps.Layer{
+			&caps.ConvCaps2D{
+				LayerName: "Caps2D1", Caps: 2, Dim: 4,
+				W:      tensor.New(8, 1, 3, 3).FillGlorot(tensor.NewRNG(seed), 9, 72),
+				B:      tensor.New(8),
+				Stride: 2, Pad: 1,
+			},
+			&caps.ConvCaps3D{
+				LayerName: "Caps3D1",
+				InCaps:    2, InDim: 4, OutCaps: 2, OutDim: 4,
+				W:      tensor.New(2, 8, 4, 3, 3).FillGlorot(tensor.NewRNG(seed+1), 36, 72),
+				Stride: 1, Pad: 1, RoutingIterations: 2,
+			},
+			&caps.ClassCaps{
+				LayerName: "ClassCaps",
+				InCaps:    2 * 3 * 3, InDim: 4, OutCaps: 3, OutDim: 8,
+				W:                 tensor.New(2*3*3, 3, 8, 4).FillGlorot(tensor.NewRNG(seed+2), 4, 8),
+				RoutingIterations: 3,
+			},
+		},
+	}
+}
+
+func TestQuantExactHighBitsConvergesToFloat(t *testing.T) {
+	// The equivalence ladder's first rung: at a generous wordlength the
+	// exact quantized backend must track the float backend closely on the
+	// full forward pass.
+	net := buildTinyNet(10)
+	x := randT(11, 4, 1, 6, 6)
+	ref := net.ForwardExec(x, noise.None{}, caps.Float{})
+	got := net.ForwardExec(x, noise.None{}, QuantExact{Bits: 16})
+	if !got.SameShape(ref) {
+		t.Fatalf("shape %v vs %v", got.Shape, ref.Shape)
+	}
+	refRange := ref.Range()
+	for i := range ref.Data {
+		if math.Abs(got.Data[i]-ref.Data[i]) > 0.01*refRange {
+			t.Fatalf("16-bit forward too far at %d: %g vs %g", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestQuantExactClassifyMostlyMatchesFloat(t *testing.T) {
 	net := buildTinyNet(10)
 	x := randT(11, 4, 1, 6, 6)
 	clean := net.Classify(x, noise.None{})
-	eng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"Caps2D1": approx.Exact{}}}
-	got := eng.Classify(x)
+	got := net.ClassifyFromExec(0, x, noise.None{}, nil, QuantExact{Bits: 8})
 	same := 0
 	for i := range clean {
 		if clean[i] == got[i] {
@@ -112,42 +161,155 @@ func TestEngineMatchesAccurateNetworkWithExactMultiplier(t *testing.T) {
 	}
 	// 8-bit quantization may flip borderline samples but most must agree.
 	if same < len(clean)-1 {
-		t.Fatalf("exact-multiplier engine disagrees: %v vs %v", got, clean)
+		t.Fatalf("quant-exact backend disagrees: %v vs %v", got, clean)
 	}
 }
 
-func TestEngineEmptyMultsIsAccurate(t *testing.T) {
-	net := buildTinyNet(12)
+func TestQuantApproxExactAssignmentsMatchQuantExactBitwise(t *testing.T) {
+	// Exact and nil assignments carry no approximation, so the design
+	// backend must collapse to the exact quantized backend bit-for-bit.
+	net := buildRoutingNet(12)
 	x := randT(13, 3, 1, 6, 6)
-	ref := net.Forward(x, noise.None{})
-	got := (&Engine{Net: net}).Forward(x)
+	be, err := NewQuantApprox(8, map[string]approx.Multiplier{
+		"Caps2D1": approx.Exact{}, "ClassCaps": nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.ApproxLayer("Caps2D1") || be.ApproxLayer("ClassCaps") {
+		t.Fatal("exact/nil assignments must not mark layers approximate")
+	}
+	if be.BaseID() != (QuantExact{Bits: 8}).BaseID() {
+		t.Fatalf("BaseID %q != %q", be.BaseID(), (QuantExact{Bits: 8}).BaseID())
+	}
+	ref := net.ForwardExec(x, noise.None{}, QuantExact{Bits: 8})
+	got := net.ForwardExec(x, noise.None{}, be)
 	for i := range ref.Data {
 		if ref.Data[i] != got.Data[i] {
-			t.Fatal("engine with no approximate layers must match the float path exactly")
+			t.Fatalf("exact-assignment backend diverges at %d: %g vs %g", i, got.Data[i], ref.Data[i])
 		}
 	}
 }
 
-func TestEngineAccuracySelfConsistent(t *testing.T) {
-	net := buildTinyNet(14)
-	x := randT(15, 6, 1, 6, 6)
-	eng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"Caps2D1": approx.DRUM{K: 6}}}
-	preds := eng.Classify(x)
-	if acc := Accuracy(eng, x, preds, 4); acc != 1 {
-		t.Fatalf("self-accuracy = %g", acc)
+func TestQuantApproxSharedPrefixBitIdenticalToQuantExact(t *testing.T) {
+	// Layers before the first approximate site run the exact quantized
+	// path — the invariant the sweep engine's prefix cache relies on
+	// (equal BaseID => bit-identical prefix).
+	net := buildRoutingNet(14)
+	x := randT(15, 3, 1, 6, 6)
+	be, err := NewQuantApprox(8, map[string]approx.Multiplier{
+		"ClassCaps": approx.OperandTrunc{ABits: 5, BBits: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if Accuracy(eng, tensor.New(0, 1, 6, 6), nil, 4) != 0 {
-		t.Fatal("empty accuracy != 0")
+	frontier := net.BackendFrontier(be)
+	if frontier != 2 {
+		t.Fatalf("frontier = %d, want 2 (ClassCaps)", frontier)
+	}
+	ref := net.ForwardToExec(frontier, x, noise.None{}, QuantExact{Bits: 8})
+	got := net.ForwardToExec(frontier, x, noise.None{}, be)
+	for i := range ref.Data {
+		if ref.Data[i] != got.Data[i] {
+			t.Fatal("exact prefix must be bit-identical across same-BaseID backends")
+		}
 	}
 }
 
-func TestEngineDefaultBits(t *testing.T) {
-	e := &Engine{}
-	if e.bits() != 8 {
-		t.Fatalf("default bits = %d", e.bits())
+func TestQuantApproxRoutingMACCoverage(t *testing.T) {
+	// Approximate multipliers must reach the capsule vote MACs — both the
+	// ConvCaps3D vote convolutions and the ClassCaps votes — not only the
+	// plain convolution layers.
+	net := buildRoutingNet(16)
+	x := randT(17, 3, 1, 6, 6)
+	ref := net.ForwardExec(x, noise.None{}, QuantExact{Bits: 8})
+	for _, layer := range []string{"Caps3D1", "ClassCaps"} {
+		be, err := NewQuantApprox(8, map[string]approx.Multiplier{
+			layer: approx.OperandTrunc{ABits: 4, BBits: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !be.ApproxLayer(layer) {
+			t.Fatalf("ApproxLayer(%q) = false", layer)
+		}
+		got := net.ForwardExec(x, noise.None{}, be)
+		diff := false
+		for i := range ref.Data {
+			if ref.Data[i] != got.Data[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatalf("approximating %s did not change the forward pass", layer)
+		}
 	}
-	e.Bits = 6
-	if e.bits() != 6 {
-		t.Fatalf("bits = %d", e.bits())
+}
+
+func TestAccuracyExecWorkerInvariantWithQuantBackend(t *testing.T) {
+	// The engine-wide determinism contract extends to quantized backends:
+	// identical results for any worker count.
+	net := buildRoutingNet(18)
+	x := randT(19, 6, 1, 6, 6)
+	labels := []int{0, 1, 2, 0, 1, 2}
+	be, err := NewQuantApprox(8, map[string]approx.Multiplier{
+		"Caps2D1": approx.DRUM{K: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := caps.AccuracyExec(context.Background(), net, x, labels, noise.None{}, be, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := caps.AccuracyExec(context.Background(), net, x, labels, noise.None{}, be, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a3 {
+		t.Fatalf("accuracy depends on workers: %g vs %g", a1, a3)
+	}
+}
+
+func TestNewQuantApproxRejectsWideBitsWithApproximateMults(t *testing.T) {
+	_, err := NewQuantApprox(12, map[string]approx.Multiplier{"L": approx.DRUM{K: 6}})
+	if err == nil {
+		t.Fatal("expected error: 8-bit LUTs cannot serve a 12-bit layer")
+	}
+	if !strings.Contains(err.Error(), "12") {
+		t.Fatalf("error should name the wordlength: %v", err)
+	}
+	// Exact-only assignments are fine at any width — nothing approximate
+	// to realize.
+	if _, err := NewQuantApprox(12, map[string]approx.Multiplier{"L": approx.Exact{}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewQuantApproxDedupesLUTCompilation(t *testing.T) {
+	m := approx.DRUM{K: 6}
+	be, err := NewQuantApprox(8, map[string]approx.Multiplier{"A": m, "B": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.luts["A"] == nil || be.luts["A"] != be.luts["B"] {
+		t.Fatal("identical multipliers must share one compiled LUT")
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	if got := (QuantExact{}).BaseID(); got != "quant8" {
+		t.Fatalf("zero-value QuantExact BaseID = %q, want quant8 (DefaultBits)", got)
+	}
+	if got := (caps.Float{}).BaseID(); got != "float" {
+		t.Fatalf("Float BaseID = %q", got)
+	}
+	be, err := NewQuantApprox(8, map[string]approx.Multiplier{"Conv1": approx.DRUM{K: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(be.Name(), "Conv1") {
+		t.Fatalf("QuantApprox name should list approximate layers: %q", be.Name())
 	}
 }

@@ -1,36 +1,27 @@
 package axe
 
 import (
+	"fmt"
+
 	"redcane/internal/approx"
-	"redcane/internal/caps"
-	"redcane/internal/fixed"
 	"redcane/internal/tensor"
 )
 
-// QuantClassCapsVotes computes the fully-connected capsule votes
-// û[b,i,j,d] = Σ_e W[i,j,d,e]·u[b,i,e] with quantized operands and the
-// given approximate multiplier, mirroring caps.ClassCaps' float path.
-// u is [n, inCaps, inDim]; w is [inCaps, outCaps, outDim, inDim].
-func QuantClassCapsVotes(u, w *tensor.Tensor, mult approx.Multiplier, bits uint) *tensor.Tensor {
-	qu := fixed.Calibrate(u, bits)
-	qw := fixed.Calibrate(w, bits)
-	lut := approx.CompileLUT(mult)
+// quantCapsVotes computes the fully-connected capsule votes û[b,i,j,d] =
+// Σ_e W[i,j,d,e]·u[b,i,e] with b-bit quantized operands and m for every
+// product, mirroring caps.ClassCaps' float vote stage. u is [n, inCaps,
+// inDim]; w is [inCaps, outCaps, outDim, inDim]. The output may come
+// from the scratch arena; callers release it.
+func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scratch) *tensor.Tensor {
+	qu, uc := quantizeCodes(u, bits, s)
+	qw, wc := quantizeCodes(w, bits, s)
 
 	n, inCaps, inDim := u.Shape[0], u.Shape[1], u.Shape[2]
 	outCaps, outDim := w.Shape[1], w.Shape[2]
 
-	uc := make([]uint8, u.Len())
-	for i, v := range u.Data {
-		uc[i] = uint8(qu.Quantize(v))
-	}
-	wc := make([]uint8, w.Len())
-	for i, v := range w.Data {
-		wc[i] = uint8(qw.Quantize(v))
-	}
-
 	su, mu := qu.Step(), qu.Min
 	sw, mw := qw.Step(), qw.Min
-	votes := tensor.New(n, inCaps, outCaps, outDim, 1)
+	votes := s.Take(n, inCaps, outCaps, outDim, 1)
 	for b := 0; b < n; b++ {
 		for i := 0; i < inCaps; i++ {
 			ubase := (b*inCaps + i) * inDim
@@ -43,7 +34,7 @@ func QuantClassCapsVotes(u, w *tensor.Tensor, mult approx.Multiplier, bits uint)
 					wbase := ((i*outCaps+j)*outDim + d) * inDim
 					var lutSum, sumW int64
 					for e := 0; e < inDim; e++ {
-						lutSum += int64(lut.Mul(uc[ubase+e], wc[wbase+e]))
+						lutSum += int64(m.mul(uc[ubase+e], wc[wbase+e]))
 						sumW += int64(wc[wbase+e])
 					}
 					acc := su*sw*float64(lutSum) +
@@ -55,51 +46,17 @@ func QuantClassCapsVotes(u, w *tensor.Tensor, mult approx.Multiplier, bits uint)
 			}
 		}
 	}
+	s.ReleaseU16(uc, wc)
 	return votes
 }
 
-// forwardRouting handles the two routing layers under approximate vote
-// computation (the routing arithmetic itself stays accurate, matching how
-// an accelerator would approximate the MAC-heavy vote stage first).
-func (e *Engine) forwardRoutingLayer(l caps.Layer, x *tensor.Tensor) (out *tensor.Tensor, handled bool) {
-	switch v := l.(type) {
-	case *caps.ClassCaps:
-		m, ok := e.Mults[v.LayerName]
-		if !ok {
-			return nil, false
-		}
-		u := caps.FlattenCaps(x, v.InCaps, v.InDim)
-		votes := QuantClassCapsVotes(u, v.W, m, e.bits())
-		routed := caps.DynamicRouting(votes, v.LayerName, v.RoutingIterations, nil)
-		return routed.Reshape(x.Shape[0], v.OutCaps, v.OutDim), true
-	case *caps.ConvCaps3D:
-		m, ok := e.Mults[v.LayerName]
-		if !ok {
-			return nil, false
-		}
-		n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
-		k := v.W.Shape[4]
-		spec := tensor.ConvSpec{KH: k, KW: k, Stride: v.Stride, Pad: v.Pad}
-		oh, ow := spec.OutSize(h, w)
-		xi := x.Reshape(n, v.InCaps, v.InDim, h, w)
-		votes := tensor.New(n, v.InCaps, v.OutCaps, v.OutDim, oh*ow)
-		wsz := v.OutCaps * v.OutDim * v.InDim * k * k
-		for i := 0; i < v.InCaps; i++ {
-			sub := tensor.New(n, v.InDim, h, w)
-			for b := 0; b < n; b++ {
-				src := xi.Data[((b*v.InCaps+i)*v.InDim)*h*w : ((b*v.InCaps+i)*v.InDim+v.InDim)*h*w]
-				copy(sub.Data[b*v.InDim*h*w:], src)
-			}
-			wi := tensor.NewFrom(v.W.Data[i*wsz:(i+1)*wsz], v.OutCaps*v.OutDim, v.InDim, k, k)
-			conv := QuantConv2D(sub, wi, nil, v.Stride, v.Pad, m, e.bits())
-			for b := 0; b < n; b++ {
-				copy(votes.Data[((b*v.InCaps+i)*v.OutCaps*v.OutDim)*oh*ow:],
-					conv.Data[b*v.OutCaps*v.OutDim*oh*ow:(b+1)*v.OutCaps*v.OutDim*oh*ow])
-			}
-		}
-		routed := caps.DynamicRouting(votes, v.LayerName, v.RoutingIterations, nil)
-		return routed.Reshape(n, v.OutCaps*v.OutDim, oh, ow), true
-	default:
-		return nil, false
+// QuantClassCapsVotes computes the fully-connected capsule votes with
+// quantized operands and the given approximate multiplier. It is the
+// standalone kernel entry point (the backends wrap it with operand-buffer
+// reuse); multiplier LUTs are 8-bit, so bits must be ≤ 8.
+func QuantClassCapsVotes(u, w *tensor.Tensor, mult approx.Multiplier, bits uint) *tensor.Tensor {
+	if bits > 8 {
+		panic(fmt.Sprintf("axe: multiplier LUTs are 8-bit, got %d", bits))
 	}
+	return quantCapsVotes(lutMul{approx.CompileLUT(mult)}, u, w, bits, nil)
 }

@@ -40,13 +40,12 @@ func TestQuantClassCapsVotesMatchesFloatWithExactMultiplier(t *testing.T) {
 	}
 }
 
-func TestEngineApproximatesClassCapsLayer(t *testing.T) {
+func TestBackendApproximatesClassCapsLayer(t *testing.T) {
 	net := buildTinyNet(30)
 	x := randT(31, 5, 1, 6, 6)
 	clean := net.Classify(x, noise.None{})
 
-	exactEng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"ClassCaps": approx.Exact{}}}
-	got := exactEng.Classify(x)
+	got := net.ClassifyFromExec(0, x, noise.None{}, nil, QuantExact{Bits: 8})
 	agree := 0
 	for i := range clean {
 		if clean[i] == got[i] {
@@ -54,13 +53,16 @@ func TestEngineApproximatesClassCapsLayer(t *testing.T) {
 		}
 	}
 	if agree < len(clean)-1 {
-		t.Fatalf("exact-LUT ClassCaps engine disagrees: %v vs %v", got, clean)
+		t.Fatalf("quant-exact ClassCaps backend disagrees: %v vs %v", got, clean)
 	}
 
 	// A crude multiplier on the routing votes must change the scores.
-	crudeEng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"ClassCaps": approx.OperandTrunc{ABits: 6, BBits: 6}}}
+	crude, err := NewQuantApprox(8, map[string]approx.Multiplier{"ClassCaps": approx.OperandTrunc{ABits: 6, BBits: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref := net.Forward(x, noise.None{})
-	out := crudeEng.Forward(x)
+	out := net.ForwardExec(x, noise.None{}, crude)
 	diff := 0.0
 	for i := range ref.Data {
 		diff += math.Abs(ref.Data[i] - out.Data[i])
@@ -70,7 +72,7 @@ func TestEngineApproximatesClassCapsLayer(t *testing.T) {
 	}
 }
 
-func TestEngineApproximatesConvCaps3D(t *testing.T) {
+func TestBackendApproximatesConvCaps3D(t *testing.T) {
 	c3d := &caps.ConvCaps3D{
 		LayerName: "Caps3D",
 		InCaps:    2, InDim: 4, OutCaps: 2, OutDim: 4,
@@ -93,8 +95,7 @@ func TestEngineApproximatesConvCaps3D(t *testing.T) {
 	x := randT(42, 3, 8, 4, 4)
 	ref := net.Forward(x, noise.None{})
 
-	eng := &Engine{Net: net, Mults: map[string]approx.Multiplier{"Caps3D": approx.Exact{}}}
-	out := eng.Forward(x)
+	out := net.ForwardExec(x, noise.None{}, QuantExact{Bits: 8})
 	if !ref.SameShape(out) {
 		t.Fatalf("shapes %v vs %v", ref.Shape, out.Shape)
 	}
@@ -102,7 +103,7 @@ func TestEngineApproximatesConvCaps3D(t *testing.T) {
 	r := ref.Range()
 	for i := range ref.Data {
 		if math.Abs(out.Data[i]-ref.Data[i]) > 0.15*r {
-			t.Fatalf("caps3d engine too far at %d: %g vs %g", i, out.Data[i], ref.Data[i])
+			t.Fatalf("caps3d backend too far at %d: %g vs %g", i, out.Data[i], ref.Data[i])
 		}
 	}
 }

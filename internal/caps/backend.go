@@ -1,0 +1,84 @@
+package caps
+
+import "redcane/internal/tensor"
+
+// Backend is a pluggable execution strategy for the MAC-heavy kernels of
+// a capsule network: plain convolutions, convolutional capsule votes and
+// fully-connected capsule votes. The float reference path, the bit-exact
+// quantized path and the approximate-multiplier path (internal/axe) are
+// all implementations; the layer graph, squash/routing arithmetic and
+// noise-injection sites stay in this package and are shared by every
+// backend, so the noise-model prediction and the bit-accurate measurement
+// run through one engine.
+//
+// Backends must be stateless per call (safe for concurrent use by worker
+// goroutines) and deterministic: the same inputs produce the same bits
+// regardless of scheduling, which the sweep engine's worker-count
+// invariance relies on.
+type Backend interface {
+	// Name identifies the backend in telemetry and reports.
+	Name() string
+	// BaseID identifies the backend's exact-arithmetic baseline. Two
+	// backends with equal BaseID produce bit-identical activations on
+	// every layer for which neither reports ApproxLayer — the invariant
+	// behind sharing cached clean-prefix activations across designs (all
+	// b-bit quantized backends share "quant<b>"; the float path is
+	// "float").
+	BaseID() string
+	// ApproxLayer reports whether the named layer's MAC kernels deviate
+	// from the BaseID baseline. The first such layer is the backend's
+	// injection frontier: everything before it can be cached and replayed.
+	ApproxLayer(layer string) bool
+	// Conv2D convolves x [n, inCh, h, w] with kernels w [outCh, inCh, kh,
+	// kw] plus optional bias [outCh] (nil = none). The result may come
+	// from the scratch arena; callers release it when done.
+	Conv2D(layer string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor
+	// CapsVotes computes fully-connected capsule votes û[b,i,j,d] =
+	// Σ_e W[i,j,d,e]·u[b,i,e] for u [n, inCaps, inDim] and w [inCaps,
+	// outCaps, outDim, inDim], returning [n, inCaps, outCaps, outDim, 1].
+	// The result may come from the scratch arena; callers release it.
+	CapsVotes(layer string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor
+}
+
+// Float is the reference backend: exact IEEE-754 float64 arithmetic.
+// It is the zero-cost default everywhere a Backend is optional.
+type Float struct{}
+
+// Name implements Backend.
+func (Float) Name() string { return "float" }
+
+// BaseID implements Backend.
+func (Float) BaseID() string { return "float" }
+
+// ApproxLayer implements Backend: the float path is the baseline itself.
+func (Float) ApproxLayer(string) bool { return false }
+
+// Conv2D implements Backend via the im2col float kernel.
+func (Float) Conv2D(_ string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor {
+	return tensor.Conv2DScratch(x, w, bias, stride, pad, s)
+}
+
+// CapsVotes implements Backend with the exact inner-product loop.
+func (Float) CapsVotes(_ string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
+	n, inCaps, inDim := u.Shape[0], u.Shape[1], u.Shape[2]
+	outCaps, outDim := w.Shape[1], w.Shape[2]
+	votes := s.Take(n, inCaps, outCaps, outDim, 1)
+	for b := 0; b < n; b++ {
+		for i := 0; i < inCaps; i++ {
+			ui := u.Data[(b*inCaps+i)*inDim : (b*inCaps+i+1)*inDim]
+			for j := 0; j < outCaps; j++ {
+				wij := w.Data[((i*outCaps+j)*outDim)*inDim:]
+				base := ((b*inCaps+i)*outCaps + j) * outDim
+				for d := 0; d < outDim; d++ {
+					acc := 0.0
+					row := wij[d*inDim : (d+1)*inDim]
+					for e, uv := range ui {
+						acc += row[e] * uv
+					}
+					votes.Data[base+d] = acc
+				}
+			}
+		}
+	}
+	return votes
+}

@@ -50,13 +50,13 @@ func (l *Conv2D) Name() string { return l.LayerName }
 
 // Forward implements Layer.
 func (l *Conv2D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	return l.ForwardScratch(x, inj, nil)
+	return l.ForwardExec(x, inj, nil, Float{})
 }
 
-// ForwardScratch runs the layer with an optional scratch arena for the
-// convolution temporaries (nil allocates fresh).
-func (l *Conv2D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	y := tensor.Conv2DScratch(x, l.W, l.B, l.Stride, l.Pad, s)
+// ForwardExec runs the layer under an execution backend, with an optional
+// scratch arena for the convolution temporaries (nil allocates fresh).
+func (l *Conv2D) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
+	y := be.Conv2D(l.LayerName, x, l.W, l.B, l.Stride, l.Pad, s)
 	y = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, y)
 	if l.ReLU {
 		r := tensor.ReLU(y)
@@ -112,13 +112,13 @@ func (l *ConvCaps2D) Name() string { return l.LayerName }
 
 // Forward implements Layer.
 func (l *ConvCaps2D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	return l.ForwardScratch(x, inj, nil)
+	return l.ForwardExec(x, inj, nil, Float{})
 }
 
-// ForwardScratch runs the layer with an optional scratch arena for the
-// convolution temporaries (nil allocates fresh).
-func (l *ConvCaps2D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	y := tensor.Conv2DScratch(x, l.W, l.B, l.Stride, l.Pad, s)
+// ForwardExec runs the layer under an execution backend, with an optional
+// scratch arena for the convolution temporaries (nil allocates fresh).
+func (l *ConvCaps2D) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
+	y := be.Conv2D(l.LayerName, x, l.W, l.B, l.Stride, l.Pad, s)
 	y = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, y)
 	if l.SkipSquash {
 		return y

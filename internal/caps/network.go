@@ -31,16 +31,17 @@ func (c *CapsCell) Name() string { return c.CellName }
 
 // Forward implements Layer.
 func (c *CapsCell) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	return c.ForwardScratch(x, inj, nil)
+	return c.ForwardExec(x, inj, nil, Float{})
 }
 
-// ForwardScratch runs the cell, threading the scratch arena through all
-// four branch layers and recycling the branch activations once summed.
-func (c *CapsCell) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	a := forwardLayer(c.L1, x, inj, s)
-	b := forwardLayer(c.L2, a, inj, s)
-	main := forwardLayer(c.L3, b, inj, s)
-	skip := forwardLayer(c.Skip, a, inj, s)
+// ForwardExec runs the cell under an execution backend, threading the
+// scratch arena through all four branch layers and recycling the branch
+// activations once summed.
+func (c *CapsCell) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
+	a := forwardLayer(c.L1, x, inj, s, be)
+	b := forwardLayer(c.L2, a, inj, s, be)
+	main := forwardLayer(c.L3, b, inj, s, be)
+	skip := forwardLayer(c.Skip, a, inj, s, be)
 	if !main.SameShape(skip) {
 		panic(fmt.Sprintf("caps: cell %s branch shapes %v vs %v", c.CellName, main.Shape, skip.Shape))
 	}
@@ -106,11 +107,11 @@ type Network struct {
 // Name returns the network's name.
 func (n *Network) Name() string { return n.NetName }
 
-// scratchForwarder is implemented by layers whose forward pass can
-// recycle temporaries through a scratch arena. Layers without it fall
-// back to plain Forward.
-type scratchForwarder interface {
-	ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor
+// execForwarder is implemented by layers whose forward pass can recycle
+// temporaries through a scratch arena and run on a pluggable execution
+// backend. Layers without it fall back to plain Forward (float only).
+type execForwarder interface {
+	ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor
 }
 
 // scratchPool recycles per-forward scratch arenas across calls. Each
@@ -118,32 +119,35 @@ type scratchForwarder interface {
 // never share buffers.
 var scratchPool = sync.Pool{New: func() any { return tensor.NewScratch() }}
 
-// forwardLayer runs one layer, threading the scratch arena when the layer
-// supports it.
-func forwardLayer(l Layer, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	if sf, ok := l.(scratchForwarder); ok {
-		return sf.ForwardScratch(x, inj, s)
+// forwardLayer runs one layer, threading the scratch arena and execution
+// backend when the layer supports them.
+func forwardLayer(l Layer, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
+	if ef, ok := l.(execForwarder); ok {
+		return ef.ForwardExec(x, inj, s, be)
 	}
 	return l.Forward(x, inj)
 }
 
-// forwardRange runs layers [lo, hi) on x under inj with scratch s. kind
-// labels the pass for telemetry ("full", "prefix" or "suffix"); with a
-// nil Obs the timed path is skipped entirely.
-func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, kind string) *tensor.Tensor {
+// forwardRange runs layers [lo, hi) on x under inj with scratch s and
+// backend be. kind labels the pass for telemetry ("full", "prefix" or
+// "suffix"); with a nil Obs the timed path is skipped entirely.
+func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend, kind string) *tensor.Tensor {
 	if inj == nil {
 		inj = noise.None{}
+	}
+	if be == nil {
+		be = Float{}
 	}
 	o := n.Obs
 	if o == nil {
 		for _, l := range n.Layers[lo:hi] {
-			x = forwardLayer(l, x, inj, s)
+			x = forwardLayer(l, x, inj, s, be)
 		}
 		return x
 	}
 	for _, l := range n.Layers[lo:hi] {
 		t0 := time.Now()
-		x = forwardLayer(l, x, inj, s)
+		x = forwardLayer(l, x, inj, s, be)
 		o.Timer("caps.forward." + kind + "." + l.Name()).Observe(time.Since(t0))
 	}
 	return x
@@ -161,9 +165,16 @@ func forwardKind(k int) string {
 // Forward runs all layers under the given injector. Pass noise.None{} for
 // accurate inference.
 func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	return n.ForwardExec(x, inj, Float{})
+}
+
+// ForwardExec is Forward under an execution backend: the noise-model path
+// (Float plus an active injector) and the bit-accurate path (a quantized
+// backend) share every layer, site, and telemetry hook.
+func (n *Network) ForwardExec(x *tensor.Tensor, inj noise.Injector, be Backend) *tensor.Tensor {
 	s := scratchPool.Get().(*tensor.Scratch)
 	defer scratchPool.Put(s)
-	return n.forwardRange(0, len(n.Layers), x, inj, s, "full")
+	return n.forwardRange(0, len(n.Layers), x, inj, s, be, "full")
 }
 
 // ForwardTo runs only the prefix layers [0, k) — the clean-prefix half of
@@ -171,9 +182,17 @@ func (n *Network) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
 // ForwardFrom(k, ·, inj) is bit-identical to Forward(x, inj) whenever inj
 // is inactive on every site before layer k (see Network.InjectionFrontier).
 func (n *Network) ForwardTo(k int, x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
+	return n.ForwardToExec(k, x, inj, Float{})
+}
+
+// ForwardToExec is ForwardTo under an execution backend. For backends
+// whose frontier (see BackendFrontier) is at or beyond k, the prefix is
+// bit-identical to the backend's BaseID baseline and may be cached across
+// designs sharing that baseline.
+func (n *Network) ForwardToExec(k int, x *tensor.Tensor, inj noise.Injector, be Backend) *tensor.Tensor {
 	s := scratchPool.Get().(*tensor.Scratch)
 	defer scratchPool.Put(s)
-	return n.forwardRange(0, k, x, inj, s, "prefix")
+	return n.forwardRange(0, k, x, inj, s, be, "prefix")
 }
 
 // ForwardFrom runs the suffix layers [k, len(Layers)) on x, which must be
@@ -183,13 +202,18 @@ func (n *Network) ForwardTo(k int, x *tensor.Tensor, inj noise.Injector) *tensor
 func (n *Network) ForwardFrom(k int, x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
 	s := scratchPool.Get().(*tensor.Scratch)
 	defer scratchPool.Put(s)
-	return n.ForwardFromScratch(k, x, inj, s)
+	return n.ForwardFromExec(k, x, inj, s, Float{})
 }
 
 // ForwardFromScratch is ForwardFrom with a caller-owned scratch arena,
 // for worker loops that evaluate many batches back to back.
 func (n *Network) ForwardFromScratch(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	return n.forwardRange(k, len(n.Layers), x, inj, s, forwardKind(k))
+	return n.ForwardFromExec(k, x, inj, s, Float{})
+}
+
+// ForwardFromExec is ForwardFromScratch under an execution backend.
+func (n *Network) ForwardFromExec(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
+	return n.forwardRange(k, len(n.Layers), x, inj, s, be, forwardKind(k))
 }
 
 // InjectionFrontier returns the index of the first layer owning an
@@ -206,6 +230,52 @@ func (n *Network) InjectionFrontier(accept noise.Filter) int {
 		}
 	}
 	return len(n.Layers)
+}
+
+// BackendFrontier returns the index of the first layer whose MAC kernels
+// the backend executes approximately (Backend.ApproxLayer), or
+// len(n.Layers) when the backend is exact everywhere. Layers before the
+// frontier produce bit-identical activations under any backend sharing
+// be's BaseID, so their clean activations can be cached and replayed —
+// the same invariant InjectionFrontier provides for noise injectors.
+func (n *Network) BackendFrontier(be Backend) int {
+	return n.InjectionFrontier(func(s noise.Site) bool {
+		return be.ApproxLayer(s.Layer)
+	})
+}
+
+// MACDepths maps each MAC-bearing layer name to its accumulation depth:
+// the number of products summed into one MAC output (conv layers:
+// inCh·kh·kw; capsule votes: inDim·k·k or inDim). This is the chain
+// length at which an approximate multiplier's error profile should be
+// characterized for that layer (Fig. 6 of the paper shows NM/NA shifting
+// with accumulation depth). Cells are broken into their constituent
+// capsule layers.
+func (n *Network) MACDepths() map[string]int {
+	out := map[string]int{}
+	var visit func(l Layer)
+	visit = func(l Layer) {
+		switch t := l.(type) {
+		case *Conv2D:
+			out[t.LayerName] = t.W.Shape[1] * t.W.Shape[2] * t.W.Shape[3]
+		case *ConvCaps2D:
+			out[t.LayerName] = t.W.Shape[1] * t.W.Shape[2] * t.W.Shape[3]
+		case *ConvCaps3D:
+			k := t.W.Shape[3]
+			out[t.LayerName] = t.InDim * k * k
+		case *ClassCaps:
+			out[t.LayerName] = t.InDim
+		case *CapsCell:
+			visit(t.L1)
+			visit(t.L2)
+			visit(t.L3)
+			visit(t.Skip)
+		}
+	}
+	for _, l := range n.Layers {
+		visit(l)
+	}
+	return out
 }
 
 // Sites enumerates every injection point in forward order.
@@ -303,7 +373,12 @@ func (n *Network) Classify(x *tensor.Tensor, inj noise.Injector) []int {
 // evaluation primitive: cached clean prefixes classify via
 // ClassifyFrom(frontier, prefix, inj, scratch).
 func (n *Network) ClassifyFrom(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) []int {
-	out := n.ForwardFromScratch(k, x, inj, s)
+	return n.ClassifyFromExec(k, x, inj, s, Float{})
+}
+
+// ClassifyFromExec is ClassifyFrom under an execution backend.
+func (n *Network) ClassifyFromExec(k int, x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) []int {
+	out := n.ForwardFromExec(k, x, inj, s, be)
 	if out.Rank() != 3 {
 		panic(fmt.Sprintf("caps: network %s output rank %d, want [batch, caps, dim]", n.NetName, out.Rank()))
 	}
@@ -356,8 +431,20 @@ func AccuracyWorkers(net *Network, x *tensor.Tensor, labels []int, inj noise.Inj
 // drains in-flight batches, and returns ctx's error. The accuracy value
 // is only meaningful when the error is nil.
 func AccuracyCtx(ctx context.Context, net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, batch, workers int) (float64, error) {
+	return AccuracyExec(ctx, net, x, labels, inj, Float{}, batch, workers)
+}
+
+// AccuracyExec is AccuracyCtx under an execution backend: the same
+// cancellable, deterministically-parallel evaluation loop measures the
+// noise model (Float + injector) and the bit-accurate hardware model (a
+// quantized backend) — the worker-count invariance carries over because
+// backends are stateless and batch i always evaluates under inj.Split(i).
+func AccuracyExec(ctx context.Context, net *Network, x *tensor.Tensor, labels []int, inj noise.Injector, be Backend, batch, workers int) (float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if be == nil {
+		be = Float{}
 	}
 	n := x.Shape[0]
 	if n == 0 {
@@ -386,7 +473,7 @@ func AccuracyCtx(ctx context.Context, net *Network, x *tensor.Tensor, labels []i
 			if hi > n {
 				hi = n
 			}
-			pred := net.ClassifyFrom(0, batchView(x, sample, lo, hi), inj, s)
+			pred := net.ClassifyFromExec(0, batchView(x, sample, lo, hi), inj, s, be)
 			for i, p := range pred {
 				if p == labels[lo+i] {
 					correct++
@@ -410,7 +497,7 @@ func AccuracyCtx(ctx context.Context, net *Network, x *tensor.Tensor, labels []i
 		if hi > n {
 			hi = n
 		}
-		pred := net.ClassifyFrom(0, batchView(x, sample, lo, hi), splitter.Split(uint64(bi)), s)
+		pred := net.ClassifyFromExec(0, batchView(x, sample, lo, hi), splitter.Split(uint64(bi)), s, be)
 		c := 0
 		for i, p := range pred {
 			if p == labels[lo+i] {

@@ -25,13 +25,16 @@ func (l *ConvCaps3D) Name() string { return l.LayerName }
 
 // Forward implements Layer.
 func (l *ConvCaps3D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	return l.ForwardScratch(x, inj, nil)
+	return l.ForwardExec(x, inj, nil, Float{})
 }
 
-// ForwardScratch runs the layer with an optional scratch arena for the
-// vote and routing temporaries (nil allocates fresh).
-func (l *ConvCaps3D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
-	votes, oh, ow := l.votes(x, s)
+// ForwardExec runs the layer under an execution backend, with an optional
+// scratch arena for the vote and routing temporaries (nil allocates fresh).
+// The per-capsule vote convolutions run on the backend; routing-by-agreement
+// stays in float, matching the paper's split between MAC arrays and the
+// routing datapath.
+func (l *ConvCaps3D) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
+	votes, oh, ow := l.votes(x, s, be)
 	votes = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, votes)
 	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s)
 	s.Release(votes)
@@ -42,7 +45,7 @@ func (l *ConvCaps3D) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *ten
 // votes computes the per-input-capsule convolution votes, shape
 // [n, inCaps, outCaps, outDim, oh*ow]. The returned tensor comes from the
 // scratch arena (every element is overwritten); the caller releases it.
-func (l *ConvCaps3D) votes(x *tensor.Tensor, s *tensor.Scratch) (v *tensor.Tensor, oh, ow int) {
+func (l *ConvCaps3D) votes(x *tensor.Tensor, s *tensor.Scratch, be Backend) (v *tensor.Tensor, oh, ow int) {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	k := l.W.Shape[3]
 	spec := tensor.ConvSpec{KH: k, KW: k, Stride: l.Stride, Pad: l.Pad}
@@ -59,7 +62,7 @@ func (l *ConvCaps3D) votes(x *tensor.Tensor, s *tensor.Scratch) (v *tensor.Tenso
 		wi := tensor.NewFrom(
 			l.W.Data[i*l.OutCaps*l.OutDim*l.InDim*k*k:(i+1)*l.OutCaps*l.OutDim*l.InDim*k*k],
 			l.OutCaps*l.OutDim, l.InDim, k, k)
-		out := tensor.Conv2DScratch(sub, wi, nil, l.Stride, l.Pad, s) // [n, outCaps*outDim, oh, ow]
+		out := be.Conv2D(l.LayerName, sub, wi, nil, l.Stride, l.Pad, s) // [n, outCaps*outDim, oh, ow]
 		for b := 0; b < n; b++ {
 			src := out.Data[b*l.OutCaps*l.OutDim*oh*ow : (b+1)*l.OutCaps*l.OutDim*oh*ow]
 			dst := votes.Data[((b*l.InCaps+i)*l.OutCaps*l.OutDim)*oh*ow:]
@@ -113,33 +116,16 @@ func (l *ClassCaps) Name() string { return l.LayerName }
 // Forward implements Layer. The input may be [n, caps*dim, h, w] (capsule
 // types replicated over positions) or already [n, inCaps, inDim].
 func (l *ClassCaps) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tensor {
-	return l.ForwardScratch(x, inj, nil)
+	return l.ForwardExec(x, inj, nil, Float{})
 }
 
-// ForwardScratch runs the layer with an optional scratch arena for the
-// vote and routing temporaries (nil allocates fresh).
-func (l *ClassCaps) ForwardScratch(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+// ForwardExec runs the layer under an execution backend, with an optional
+// scratch arena for the vote and routing temporaries (nil allocates fresh).
+// The vote MACs run on the backend; routing-by-agreement stays in float.
+func (l *ClassCaps) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
 	n := x.Shape[0]
 	u := flattenToCaps(x, l.InCaps, l.InDim)
-	// Votes û[b, i, j, d] = Σ_e W[i, j, d, e] · u[b, i, e].
-	votes := s.Take(n, l.InCaps, l.OutCaps, l.OutDim, 1)
-	for b := 0; b < n; b++ {
-		for i := 0; i < l.InCaps; i++ {
-			ui := u.Data[(b*l.InCaps+i)*l.InDim : (b*l.InCaps+i+1)*l.InDim]
-			for j := 0; j < l.OutCaps; j++ {
-				wij := l.W.Data[((i*l.OutCaps+j)*l.OutDim)*l.InDim:]
-				base := ((b*l.InCaps+i)*l.OutCaps + j) * l.OutDim
-				for d := 0; d < l.OutDim; d++ {
-					s := 0.0
-					row := wij[d*l.InDim : (d+1)*l.InDim]
-					for e, uv := range ui {
-						s += row[e] * uv
-					}
-					votes.Data[base+d] = s
-				}
-			}
-		}
-	}
+	votes := be.CapsVotes(l.LayerName, u, l.W, s)
 	votes = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, votes)
 	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s)
 	if u != x {

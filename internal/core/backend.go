@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"redcane/internal/approx"
+	"redcane/internal/axe"
+	"redcane/internal/caps"
+	"redcane/internal/noise"
+	"redcane/internal/obs"
+	"redcane/internal/tensor"
+)
+
+// This file closes the methodology's model-vs-reality loop: a Step 6
+// design (a []Choice) compiles into an execution backend that runs the
+// chosen multipliers bit-accurately, and EvalBackend measures it with
+// the same engine the noise sweeps use — workers, prefix caching over
+// the exact prefix before the first approximate site, checkpoint/resume,
+// and telemetry spans.
+
+// MACAssignments extracts a design's per-layer multiplier assignments:
+// the MAC-output choices, which are the only Table III group a
+// multiplier substitution physically realizes (softmax, activations and
+// logits-update approximations live in other datapath units). Exact
+// assignments are kept — the backend drops them itself — so the map's
+// keys cover every MAC layer of the design.
+func MACAssignments(choices []Choice) map[string]approx.Multiplier {
+	out := map[string]approx.Multiplier{}
+	for _, c := range choices {
+		if c.Site.Group != noise.MACOutputs {
+			continue
+		}
+		out[c.Site.Layer] = c.Component.Model
+	}
+	return out
+}
+
+// DesignBackend compiles a selected design into a bit-accurate execution
+// backend: b-bit quantized MACs with each layer's chosen approximate
+// multiplier (exact choices and non-MAC sites run the exact quantized
+// path).
+func DesignBackend(choices []Choice, bits uint) (caps.Backend, error) {
+	return axe.NewQuantApprox(bits, MACAssignments(choices))
+}
+
+// EvalBackend measures test accuracy under the given execution backend.
+// It mirrors the sweep engine's evaluation loop: batches run as
+// independent jobs over the worker pool (bit-identical for any worker
+// count), the exact prefix before the backend's first approximate layer
+// is computed once per window and replayed, cancellation stops at a
+// window boundary, and with a non-nil a.Checkpoint the per-window
+// correct-counts persist under the given section key so an interrupted
+// evaluation resumes where it left off. Distinct backends must use
+// distinct section keys.
+func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section string) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if be == nil {
+		be = caps.Float{}
+	}
+	a.Opts = a.Opts.WithDefaults()
+	o := a.Opts
+	x, y := a.evalData()
+	n := x.Shape[0]
+	if n == 0 {
+		return 0, nil
+	}
+	nb := (n + o.Batch - 1) / o.Batch
+	frontier := a.Net.BackendFrontier(be)
+
+	sp := a.Obs.StartSpan("backend.eval",
+		obs.F("backend", be.Name()), obs.F("frontier", frontier), obs.F("section", section))
+	defer sp.End()
+
+	correct := make([]int, 1)
+	startBatch := 0
+	if a.Checkpoint != nil {
+		var st sweepState
+		if a.Checkpoint.Get(section, &st) && len(st.Correct) == 1 &&
+			st.BatchesDone >= 0 && st.BatchesDone <= nb {
+			copy(correct, st.Correct)
+			startBatch = st.BatchesDone
+			if st.Done {
+				startBatch = nb
+			}
+			a.Obs.Info("backend eval resumed from checkpoint",
+				obs.F("section", section),
+				obs.F("batches", fmt.Sprintf("%d/%d", startBatch, nb)))
+		}
+	}
+
+	window := a.prefixWindow(frontier, nb)
+	for b0 := startBatch; b0 < nb; b0 += window {
+		if err := ctx.Err(); err != nil {
+			a.Obs.Warn("backend eval cancelled",
+				obs.F("section", section),
+				obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
+			return 0, err
+		}
+		b1 := b0 + window
+		if b1 > nb {
+			b1 = nb
+		}
+		acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, be)
+		if err != nil {
+			return 0, err
+		}
+		jobCorrect := make([]int, b1-b0)
+		err = runJobs(ctx, a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
+			bi := b0 + j
+			pred := a.Net.ClassifyFromExec(frontier, acts[j], noise.None{}, s, be)
+			lo := bi * o.Batch
+			c := 0
+			for i, p := range pred {
+				if p == y[lo+i] {
+					c++
+				}
+			}
+			jobCorrect[j] = c
+		})
+		if err != nil {
+			var wp *workerPanic
+			if errors.As(err, &wp) {
+				return 0, &JobPanicError{Point: -1, Trial: -1, Batch: b0 + wp.Job, Value: wp.Value, Stack: wp.Stack}
+			}
+			a.Obs.Warn("backend eval cancelled",
+				obs.F("section", section),
+				obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
+			return 0, err
+		}
+		for _, c := range jobCorrect {
+			correct[0] += c
+		}
+		if a.Checkpoint != nil {
+			a.checkpointPut(section, sweepState{Correct: correct, BatchesDone: b1, Done: b1 == nb})
+		}
+		if a.afterWindow != nil {
+			a.afterWindow(b1, nb)
+		}
+	}
+	if a.Checkpoint != nil && startBatch < nb {
+		a.checkpointPut(section, sweepState{Correct: correct, BatchesDone: nb, Done: true})
+	}
+	return float64(correct[0]) / float64(n), nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"redcane/internal/approx"
+	"redcane/internal/axe"
+	"redcane/internal/caps"
+	"redcane/internal/noise"
+	"redcane/internal/obs"
+)
+
+func TestWithDefaultsNormalizesNMSweep(t *testing.T) {
+	// Callers may hand the grid in any order; SelectComponents and the
+	// resilience marking assume NMSweep[0] is the maximum.
+	o := Options{NMSweep: []float64{0.1, 0.5, -1, 0.5, 0, 0.25}}.WithDefaults()
+	want := []float64{0.5, 0.25, 0.1, 0}
+	if !reflect.DeepEqual(o.NMSweep, want) {
+		t.Fatalf("normalized grid = %v, want %v", o.NMSweep, want)
+	}
+	// An already-normalized grid round-trips unchanged, keeping default
+	// fingerprints stable.
+	o2 := Options{NMSweep: append([]float64(nil), PaperNMSweep...)}.WithDefaults()
+	if !reflect.DeepEqual(o2.NMSweep, PaperNMSweep) {
+		t.Fatalf("paper grid changed: %v", o2.NMSweep)
+	}
+	// A grid with nothing usable falls back to the paper default instead
+	// of leaving an empty sweep.
+	o3 := Options{NMSweep: []float64{-3, -0.5}}.WithDefaults()
+	if !reflect.DeepEqual(o3.NMSweep, PaperNMSweep) {
+		t.Fatalf("all-negative grid = %v, want paper default", o3.NMSweep)
+	}
+}
+
+func TestExtractGroupsMemoized(t *testing.T) {
+	// Step 1's instrumented forward pass runs once per analyzer; repeated
+	// callers (SelectComponents per site, Refine, experiments) share it.
+	a := derived(t)
+	a.sites = nil
+	g1 := a.ExtractGroups()
+	g2 := a.ExtractGroups()
+	if reflect.ValueOf(g1).Pointer() != reflect.ValueOf(g2).Pointer() {
+		t.Fatal("ExtractGroups rebuilt the site map on a repeated call")
+	}
+}
+
+func TestMACAssignmentsOnlyMACSites(t *testing.T) {
+	choices := []Choice{
+		{Site: noise.Site{Layer: "Conv1", Group: noise.MACOutputs},
+			Component: approx.Component{Name: "drum6", Model: approx.DRUM{K: 6}}},
+		{Site: noise.Site{Layer: "Conv1", Group: noise.Activations},
+			Component: approx.Component{Name: "relu-approx", Model: approx.OperandTrunc{ABits: 4, BBits: 4}}},
+		{Site: noise.Site{Layer: "ClassCaps", Group: noise.MACOutputs},
+			Component: approx.Component{Name: "exact", Model: approx.Exact{}}},
+	}
+	got := MACAssignments(choices)
+	if len(got) != 2 {
+		t.Fatalf("assignments = %v, want Conv1 and ClassCaps only", got)
+	}
+	if _, ok := got["Conv1"].(approx.DRUM); !ok {
+		t.Fatalf("Conv1 = %#v", got["Conv1"])
+	}
+	// Exact choices stay in the map (the backend drops them) so the keys
+	// cover every MAC layer of the design.
+	if _, ok := got["ClassCaps"].(approx.Exact); !ok {
+		t.Fatalf("ClassCaps = %#v", got["ClassCaps"])
+	}
+}
+
+// designBackend builds a small approximate design over the fixture's MAC
+// sites for the EvalBackend tests.
+func designBackend(t *testing.T, a *Analyzer) caps.Backend {
+	t.Helper()
+	macs := a.ExtractGroups()[noise.MACOutputs]
+	if len(macs) == 0 {
+		t.Fatal("fixture has no MAC sites")
+	}
+	// Approximate the last MAC layer so the backend has a non-trivial
+	// exact prefix (several windows to cache, checkpoint and resume).
+	choices := []Choice{{
+		Site:      macs[len(macs)-1],
+		Component: approx.Component{Name: "drum6", Model: approx.DRUM{K: 6}},
+	}}
+	be, err := DesignBackend(choices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+func TestEvalBackendMatchesAccuracyExec(t *testing.T) {
+	// EvalBackend is the sweep-engine form of caps.AccuracyExec: same
+	// samples, same backend, same result — the windows, workers and
+	// prefix replay must not change the measurement.
+	a := derived(t)
+	be := axe.QuantExact{Bits: 8}
+	got, err := a.EvalBackend(context.Background(), be, "eval-vs-accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := a.evalData()
+	want, err := caps.AccuracyExec(context.Background(), a.Net, x, y, noise.None{}, be, a.Opts.Batch, a.Opts.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvalBackend = %g, AccuracyExec = %g", got, want)
+	}
+}
+
+func TestEvalBackendWorkerInvariant(t *testing.T) {
+	a := derived(t)
+	be := designBackend(t, a)
+	a.Opts.Workers = 1
+	want, err := a.EvalBackend(context.Background(), be, "workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		b := derived(t)
+		b.Opts.Workers = workers
+		got, err := b.EvalBackend(context.Background(), be, "workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d accuracy %g != %g", workers, got, want)
+		}
+	}
+}
+
+func TestEvalBackendResumeMatchesUninterrupted(t *testing.T) {
+	// Interrupt a backend evaluation after its first window, resume from
+	// the checkpoint, and the final accuracy must be bit-identical to an
+	// uninterrupted run.
+	dir := t.TempDir()
+	const section = "validate-test"
+
+	want := derived(t)
+	want.Opts.PrefixCacheMB = -1
+	be := designBackend(t, want)
+	wantAcc, err := want.EvalBackend(context.Background(), be, section)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := derived(t)
+	a.Opts.PrefixCacheMB = -1
+	st, resumed := resumeStore(t, dir, a.Opts)
+	if resumed {
+		t.Fatal("fresh store reported resumed")
+	}
+	a.Checkpoint = st
+	ctx, cancel := context.WithCancel(context.Background())
+	a.afterWindow = func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	if _, err := a.EvalBackend(ctx, be, section); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted eval error = %v", err)
+	}
+
+	b := derived(t)
+	b.Opts.PrefixCacheMB = -1
+	b.Obs = obs.New(obs.Off, nil)
+	st2, resumed := resumeStore(t, dir, b.Opts)
+	if !resumed {
+		t.Fatal("store with checkpointed data reported fresh")
+	}
+	b.Checkpoint = st2
+	gotAcc, err := b.EvalBackend(context.Background(), be, section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAcc != wantAcc {
+		t.Fatalf("resumed accuracy %g != uninterrupted %g", gotAcc, wantAcc)
+	}
+}
+
+func TestPickChainLen(t *testing.T) {
+	cases := []struct{ depth, want int }{
+		{9, 9}, {81, 81}, {20, 9}, {500, 81}, {0, 9}, {1, 9},
+	}
+	for _, c := range cases {
+		if got := PickChainLen(LibraryChainLens, c.depth); got != c.want {
+			t.Errorf("PickChainLen(%v, %d) = %d, want %d", LibraryChainLens, c.depth, got, c.want)
+		}
+	}
+	// An empty availability list returns the depth itself.
+	if got := PickChainLen(nil, 50); got != 50 {
+		t.Errorf("empty library = %d, want 50", got)
+	}
+}
+
+func TestProfilesForDepth(t *testing.T) {
+	mk := func(name string, cl int) ComponentProfile {
+		return ComponentProfile{Component: approx.Component{Name: name}, ChainLen: cl}
+	}
+	profiles := []ComponentProfile{mk("a9", 9), mk("a81", 81), mk("agnostic", 0), mk("b9", 9)}
+	deep := profilesForDepth(profiles, 200)
+	names := map[string]bool{}
+	for _, p := range deep {
+		names[p.Component.Name] = true
+	}
+	if !names["a81"] || !names["agnostic"] || names["a9"] || names["b9"] {
+		t.Fatalf("depth 200 subset = %v", names)
+	}
+	// Unknown depth or a single-depth library returns the input unchanged.
+	if got := profilesForDepth(profiles, 0); len(got) != len(profiles) {
+		t.Fatalf("depth 0 filtered to %d profiles", len(got))
+	}
+	single := []ComponentProfile{mk("a9", 9), mk("b9", 9)}
+	if got := profilesForDepth(single, 200); len(got) != 2 {
+		t.Fatalf("single-depth library filtered to %d profiles", len(got))
+	}
+}

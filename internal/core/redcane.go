@@ -20,6 +20,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -62,12 +63,19 @@ type Options struct {
 	// sweeps are bit-identical for any worker count.
 	Workers int
 	// PrefixCacheMB bounds the memory (in MiB) of the clean-prefix
-	// activation cache used by the sweep engine (0 = 256).
+	// activation cache used by the sweep engine (0 = 256; negative forces
+	// single-batch windows, the smallest possible — window layout never
+	// affects results, only scheduling).
 	PrefixCacheMB int
 }
 
-// WithDefaults fills unset options with the paper's defaults.
+// WithDefaults fills unset options with the paper's defaults and
+// normalizes the noise-magnitude grid: negatives are dropped, duplicates
+// removed, and the grid sorted descending. SelectComponents and the
+// resilience marking assume NMSweep[0] is the grid maximum, so callers
+// may supply the grid in any order.
 func (o Options) WithDefaults() Options {
+	o.NMSweep = normalizeNMSweep(o.NMSweep)
 	if len(o.NMSweep) == 0 {
 		o.NMSweep = PaperNMSweep
 	}
@@ -83,10 +91,31 @@ func (o Options) WithDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.PrefixCacheMB <= 0 {
+	if o.PrefixCacheMB == 0 {
 		o.PrefixCacheMB = 256
 	}
 	return o
+}
+
+// normalizeNMSweep returns the grid sorted descending with negative
+// magnitudes dropped and duplicates removed. An already-normalized grid
+// (like PaperNMSweep) round-trips unchanged, so default fingerprints are
+// stable.
+func normalizeNMSweep(grid []float64) []float64 {
+	out := make([]float64, 0, len(grid))
+	for _, v := range grid {
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
 }
 
 // Fingerprint hashes the results-affecting options into a short stable
@@ -485,11 +514,20 @@ func median(vs []float64) float64 {
 
 // ComponentProfile pairs a library component with its measured noise
 // parameters under a representative input distribution (see
-// approx.Characterize).
+// approx.Characterize). ChainLen records the MAC-accumulation depth the
+// profile was measured at; 0 means depth-agnostic (legacy single-depth
+// libraries), matching any site.
 type ComponentProfile struct {
 	Component approx.Component
 	NM, NA    float64
+	ChainLen  int
 }
+
+// LibraryChainLens is the default set of accumulation depths the
+// component library is characterized at: the paper's Fig. 6 profiles use
+// 9-MAC chains (3×3 kernels) and the deep 81-MAC chains of 9×9 kernels
+// and wide conv layers.
+var LibraryChainLens = []int{9, 81}
 
 // ProfileLibrary characterizes every library component under the given
 // distribution at the given MAC-chain length, ready for SelectComponents.
@@ -498,7 +536,72 @@ func ProfileLibrary(dist approx.InputDist, chainLen, samples int, seed uint64) [
 	out := make([]ComponentProfile, 0, len(lib))
 	for _, c := range lib {
 		p := approx.Characterize(c.Model, dist, chainLen, samples, seed)
-		out = append(out, ComponentProfile{Component: c, NM: p.NM, NA: p.NA})
+		out = append(out, ComponentProfile{Component: c, NM: p.NM, NA: p.NA, ChainLen: chainLen})
+	}
+	return out
+}
+
+// ProfileLibraryDepths characterizes the library at every given chain
+// length, so SelectComponents can match each site against the profile
+// measured at the depth closest to the site's real accumulation depth
+// (caps.Network.MACDepths) instead of a single hardcoded chain.
+func ProfileLibraryDepths(dist approx.InputDist, chainLens []int, samples int, seed uint64) []ComponentProfile {
+	var out []ComponentProfile
+	for _, cl := range chainLens {
+		out = append(out, ProfileLibrary(dist, cl, samples, seed)...)
+	}
+	return out
+}
+
+// PickChainLen returns the available chain length closest (in log scale,
+// since error accumulation scales multiplicatively with depth) to the
+// site's accumulation depth. An empty availability list returns depth
+// itself.
+func PickChainLen(available []int, depth int) int {
+	if depth < 1 {
+		depth = 1
+	}
+	if len(available) == 0 {
+		return depth
+	}
+	best, bestD := available[0], math.Inf(1)
+	for _, c := range available {
+		if c < 1 {
+			continue
+		}
+		d := math.Abs(math.Log(float64(c)) - math.Log(float64(depth)))
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// profilesForDepth filters profiles to those characterized at the chain
+// length best matching the given accumulation depth. Depth-agnostic
+// profiles (ChainLen 0) always survive; a single-depth library or an
+// unknown depth passes through unchanged.
+func profilesForDepth(profiles []ComponentProfile, depth int) []ComponentProfile {
+	if depth <= 0 {
+		return profiles
+	}
+	var lens []int
+	seen := map[int]bool{}
+	for _, p := range profiles {
+		if p.ChainLen > 0 && !seen[p.ChainLen] {
+			seen[p.ChainLen] = true
+			lens = append(lens, p.ChainLen)
+		}
+	}
+	if len(lens) <= 1 {
+		return profiles
+	}
+	pick := PickChainLen(lens, depth)
+	out := make([]ComponentProfile, 0, len(profiles))
+	for _, p := range profiles {
+		if p.ChainLen == 0 || p.ChainLen == pick {
+			out = append(out, p)
+		}
 	}
 	return out
 }
@@ -506,10 +609,15 @@ func ProfileLibrary(dist approx.InputDist, chainLen, samples int, seed uint64) [
 // SelectComponents is Step 6: for every site, pick the lowest-power
 // component whose measured NM fits the site's tolerated budget. Sites in
 // resilient groups get the full budget of the largest swept NM; sites in
-// non-resilient groups use their layer's tolerated NM.
+// non-resilient groups use their layer's tolerated NM. When the profile
+// library carries multiple characterization depths, each site consults
+// the profiles measured at the depth closest to its layer's real MAC
+// accumulation depth.
 func (a *Analyzer) SelectComponents(groups []GroupResult, layers []LayerResult, profiles []ComponentProfile) []Choice {
 	o := a.Opts
 	maxNM := o.NMSweep[0]
+	sitesByGroup := a.ExtractGroups()
+	depths := a.Net.MACDepths()
 
 	budget := map[noise.Site]float64{}
 	for _, gr := range groups {
@@ -517,7 +625,7 @@ func (a *Analyzer) SelectComponents(groups []GroupResult, layers []LayerResult, 
 		if tol > maxNM {
 			tol = maxNM
 		}
-		for _, s := range a.ExtractGroups()[gr.Group] {
+		for _, s := range sitesByGroup[gr.Group] {
 			budget[s] = tol
 		}
 	}
@@ -533,14 +641,15 @@ func (a *Analyzer) SelectComponents(groups []GroupResult, layers []LayerResult, 
 
 	sites := []noise.Site{}
 	for _, g := range noise.Groups() {
-		sites = append(sites, a.ExtractGroups()[g]...)
+		sites = append(sites, sitesByGroup[g]...)
 	}
 
 	var out []Choice
 	for _, s := range sites {
 		b := budget[s]
-		chosen := sorted[len(sorted)-1] // fallback: most accurate
-		for _, p := range sorted {
+		cands := profilesForDepth(sorted, depths[s.Layer])
+		chosen := cands[len(cands)-1] // fallback: most accurate
+		for _, p := range cands {
 			if p.NM <= b {
 				chosen = p
 				break
@@ -548,7 +657,7 @@ func (a *Analyzer) SelectComponents(groups []GroupResult, layers []LayerResult, 
 		}
 		if b == 0 {
 			// No tolerance measured: force the accurate component.
-			for _, p := range sorted {
+			for _, p := range cands {
 				if p.NM == 0 {
 					chosen = p
 					break

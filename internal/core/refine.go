@@ -48,12 +48,29 @@ func (a *Analyzer) Refine(ctx context.Context, choices []Choice, profiles []Comp
 	a.Opts = a.Opts.WithDefaults()
 	x, y := a.evalData()
 
-	// Profiles ordered by ascending NM = the upgrade ladder.
+	// Profiles ordered by ascending NM = the upgrade ladder. With a
+	// multi-depth library the ladder is narrowed per upgrade to the
+	// profiles characterized at the failing site's accumulation depth, so
+	// a component's rank reflects its error at that site, not at some
+	// other chain length.
 	ladder := append([]ComponentProfile(nil), profiles...)
 	sort.Slice(ladder, func(i, j int) bool { return ladder[i].NM < ladder[j].NM })
-	rank := map[string]int{}
-	for i, p := range ladder {
-		rank[p.Component.Name] = i
+	depths := a.Net.MACDepths()
+	ladderFor := func(site noise.Site, component string) ([]ComponentProfile, int) {
+		sub := profilesForDepth(ladder, depths[site.Layer])
+		for i, p := range sub {
+			if p.Component.Name == component {
+				return sub, i
+			}
+		}
+		// Component missing from the depth-matched subset (e.g. choices
+		// made against a different library): fall back to the full ladder.
+		for i, p := range ladder {
+			if p.Component.Name == component {
+				return ladder, i
+			}
+		}
+		return ladder, 0
 	}
 
 	cur := append([]Choice(nil), choices...)
@@ -83,11 +100,11 @@ func (a *Analyzer) Refine(ctx context.Context, choices []Choice, profiles []Comp
 		if worst < 0 {
 			break // everything already exact; nothing to repair
 		}
-		r := rank[cur[worst].Component.Name]
+		sub, r := ladderFor(cur[worst].Site, cur[worst].Component.Name)
 		if r == 0 {
 			break
 		}
-		next := ladder[r-1]
+		next := sub[r-1]
 		step := RefineStep{
 			Round: round,
 			Site:  cur[worst].Site,

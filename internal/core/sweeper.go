@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"redcane/internal/caps"
 	"redcane/internal/noise"
 	"redcane/internal/obs"
 	"redcane/internal/tensor"
@@ -56,9 +57,14 @@ import (
 // run resumes bit-identically where it left off.
 
 // prefixCache retains the clean activations at one frontier for the whole
-// evaluation set, one tensor per batch.
+// evaluation set, one tensor per batch. base is the producing backend's
+// BaseID: backends sharing a baseline produce bit-identical prefixes, so
+// a cache keyed (frontier, base) is shared across designs with the same
+// exact arithmetic (e.g. every 8-bit quantized design), but never across
+// arithmetic families (float vs quant8).
 type prefixCache struct {
 	frontier int
+	base     string
 	acts     []*tensor.Tensor
 }
 
@@ -267,10 +273,11 @@ func (a *Analyzer) prefixWindow(frontier, nb int) int {
 }
 
 // prefixActivations returns the clean activations at the frontier for
-// batches [b0, b1). When the window spans the whole evaluation set the
-// result is retained on the Analyzer and reused by subsequent sweeps with
-// the same frontier. frontier == 0 returns zero-copy views of x.
-func (a *Analyzer) prefixActivations(ctx context.Context, frontier int, x *tensor.Tensor, b0, b1, nb int) ([]*tensor.Tensor, error) {
+// batches [b0, b1), computed under the given execution backend. When the
+// window spans the whole evaluation set the result is retained on the
+// Analyzer and reused by subsequent evaluations with the same frontier
+// and backend baseline. frontier == 0 returns zero-copy views of x.
+func (a *Analyzer) prefixActivations(ctx context.Context, frontier int, x *tensor.Tensor, b0, b1, nb int, be caps.Backend) ([]*tensor.Tensor, error) {
 	n := x.Shape[0]
 	sample := x.Len() / n
 	batch := a.Opts.Batch
@@ -293,13 +300,13 @@ func (a *Analyzer) prefixActivations(ctx context.Context, frontier int, x *tenso
 		return acts, nil
 	}
 	whole := b0 == 0 && b1 == nb
-	if whole && a.pcache != nil && a.pcache.frontier == frontier {
+	if whole && a.pcache != nil && a.pcache.frontier == frontier && a.pcache.base == be.BaseID() {
 		a.Obs.Counter("sweep.prefix_cache.hits").Inc()
 		return a.pcache.acts, nil
 	}
 	a.Obs.Counter("sweep.prefix_cache.misses").Inc()
 	err := runJobs(ctx, a.Obs, a.Opts.sweepWorkers(), b1-b0, func(j int, _ *tensor.Scratch) {
-		acts[j] = a.Net.ForwardTo(frontier, view(b0+j), noise.None{})
+		acts[j] = a.Net.ForwardToExec(frontier, view(b0+j), noise.None{}, be)
 	})
 	if err != nil {
 		var wp *workerPanic
@@ -309,7 +316,7 @@ func (a *Analyzer) prefixActivations(ctx context.Context, frontier int, x *tenso
 		return nil, err
 	}
 	if whole {
-		a.pcache = &prefixCache{frontier: frontier, acts: acts}
+		a.pcache = &prefixCache{frontier: frontier, base: be.BaseID(), acts: acts}
 		var bytes int64
 		for _, t := range acts {
 			bytes += 8 * int64(len(t.Data))
@@ -411,7 +418,7 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		if b1 > nb {
 			b1 = nb
 		}
-		acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb)
+		acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, caps.Float{})
 		if err != nil {
 			return nil, err
 		}

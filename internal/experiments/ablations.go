@@ -8,6 +8,7 @@ import (
 	"redcane/internal/approx"
 	"redcane/internal/axe"
 	"redcane/internal/caps"
+	"redcane/internal/core"
 	"redcane/internal/fixed"
 	"redcane/internal/noise"
 	"redcane/internal/tensor"
@@ -144,6 +145,7 @@ func (r *Runner) AblationNoiseVsLUT() (*NoiseVsLUTResult, error) {
 	dist := approx.EmpiricalDist(poolA, poolB)
 
 	convLayers := []string{"Conv2D", "Primary"}
+	depths := t.Net.MACDepths()
 	out := &NoiseVsLUTResult{Benchmark: t.Benchmark, Clean: clean}
 	for _, name := range []string{"mul8u_NGR", "mul8u_DM1", "mul8u_JV3", "mul8u_QKX"} {
 		c, err := approx.ByName(name)
@@ -154,18 +156,37 @@ func (r *Runner) AblationNoiseVsLUT() (*NoiseVsLUTResult, error) {
 		for _, l := range convLayers {
 			mults[l] = c.Model
 		}
-		eng := &axe.Engine{Net: t.Net, Mults: mults}
-		lutAcc := axe.Accuracy(eng, x, y, 32)
+		// True execution: the shared engine runs the convs through the
+		// component's LUT — cancellable and worker-parallel like every
+		// other evaluation.
+		be, err := axe.NewQuantApprox(fixed.DefaultBits, mults)
+		if err != nil {
+			return nil, err
+		}
+		lutAcc, err := caps.AccuracyExec(r.ctx(), t.Net, x, y, noise.None{}, be, 32, r.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
 
-		// Noise-model prediction: per-site NM/NA from characterization
-		// at the 81-MAC chain (9×9 kernels dominate the CapsNet convs).
-		prof := approx.Characterize(c.Model, dist, 81, 20000, r.Cfg.Seed+41)
+		// Noise-model prediction: per-site NM/NA characterized at each
+		// layer's own accumulation depth (Fig. 6: the error profile
+		// shifts with chain length).
+		profByLen := map[int]approx.ErrorProfile{}
 		params := map[noise.Site]noise.Params{}
 		for _, l := range convLayers {
+			cl := core.PickChainLen(core.LibraryChainLens, depths[l])
+			prof, ok := profByLen[cl]
+			if !ok {
+				prof = approx.Characterize(c.Model, dist, cl, 20000, r.Cfg.Seed+41)
+				profByLen[cl] = prof
+			}
 			params[noise.Site{Layer: l, Group: noise.MACOutputs}] = noise.Params{NM: prof.NM, NA: prof.NA}
 		}
 		inj := noise.NewPerSite(params, r.Cfg.Seed+42)
-		modelAcc := caps.Accuracy(t.Net, x, y, inj, 32)
+		modelAcc, err := caps.AccuracyExec(r.ctx(), t.Net, x, y, inj, caps.Float{}, 32, r.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
 
 		out.Rows = append(out.Rows, NoiseVsLUTRow{
 			Component:     c.Name,

@@ -85,6 +85,32 @@ func (t *Table4Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteCSV emits the error-model validation as one row per scope:
+// (scope, name, component, sites, mac_sites, predicted_acc, measured_acc,
+// gap, realizable).
+func (v *ValidateResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scope", "name", "component", "sites", "mac_sites",
+		"predicted_acc", "measured_acc", "gap", "realizable",
+	}); err != nil {
+		return err
+	}
+	for _, r := range v.Rows {
+		rec := []string{
+			r.Scope, r.Name, r.Component,
+			fmt.Sprintf("%d", r.Sites), fmt.Sprintf("%d", r.MACSites),
+			fmt.Sprintf("%g", r.Predicted), fmt.Sprintf("%g", r.Measured),
+			fmt.Sprintf("%g", r.Gap()), fmt.Sprintf("%v", r.Realizable),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCSV emits the Fig. 6 error profiles as
 // (component, chain_len, mean, std, ks, nm, na).
 func (f *Fig6Result) WriteCSV(w io.Writer) error {

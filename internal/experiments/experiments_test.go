@@ -357,6 +357,61 @@ func TestAblationNoiseAverageBiasHurts(t *testing.T) {
 	}
 }
 
+func TestValidateComparesModelAgainstBackend(t *testing.T) {
+	res, err := runner(t).Validate(Benchmarks[4], "quant-approx", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean <= 0.5 {
+		t.Fatalf("clean accuracy = %g", res.Clean)
+	}
+	// Exact 8-bit quantization alone must not collapse the network.
+	if res.QuantBaseline < res.Clean-0.2 {
+		t.Fatalf("quant-exact baseline %.3f collapsed vs clean %.3f", res.QuantBaseline, res.Clean)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if r0 := res.Rows[0]; r0.Scope != "design" || r0.Name != "all" {
+		t.Fatalf("first row = %+v, want whole-design scope", r0)
+	}
+	layerRows := 0
+	for _, row := range res.Rows {
+		if row.Predicted < 0 || row.Predicted > 1 || row.Measured < 0 || row.Measured > 1 {
+			t.Fatalf("accuracy out of range: %+v", row)
+		}
+		if row.Scope == "layer" {
+			layerRows++
+			// Layer rows are single MAC choices — exactly what a multiplier
+			// substitution realizes.
+			if row.Sites != 1 || row.MACSites != 1 || !row.Realizable || row.Component == "" {
+				t.Fatalf("layer row not realizable: %+v", row)
+			}
+		}
+	}
+	if layerRows == 0 {
+		t.Fatal("no per-layer rows")
+	}
+	if !strings.Contains(res.Render(), "Error-model validation") {
+		t.Fatal("render broken")
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "predicted_acc") || !strings.Contains(b.String(), "design,all") {
+		t.Fatalf("csv malformed:\n%s", b.String())
+	}
+	// A backend typo fails before any training or analysis.
+	if _, err := runner(t).Validate(Benchmarks[4], "bogus", 8); err == nil {
+		t.Fatal("expected unknown-backend error")
+	}
+	// Approximate multipliers cannot run above the LUT wordlength.
+	if _, err := runner(t).Validate(Benchmarks[4], "quant-approx", 12); err == nil {
+		t.Fatal("expected wide-wordlength error")
+	}
+}
+
 func TestRunnerCachesWeightsOnDisk(t *testing.T) {
 	r := runner(t)
 	tr1, err := r.Trained(Benchmarks[4])

@@ -277,8 +277,11 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 	if r.Cfg.Quick {
 		samples = 5000
 	}
-	profiles := core.ProfileLibrary(
-		approx.EmpiricalDist(fig11.PoolA, fig11.PoolB), 9, samples, r.Cfg.Seed+9)
+	// Characterize the library at every standard accumulation depth so
+	// Step 6 matches each site against the profile measured at the chain
+	// length closest to its layer's real MAC fan-in (Fig. 6).
+	profiles := core.ProfileLibraryDepths(
+		approx.EmpiricalDist(fig11.PoolA, fig11.PoolB), core.LibraryChainLens, samples, r.Cfg.Seed+9)
 	opts := core.Options{
 		Trials:    r.trials(),
 		Batch:     32,

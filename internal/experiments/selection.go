@@ -54,24 +54,53 @@ func (r *Runner) AblationSelectionStrategy(b Benchmark) (*SelectionResult, error
 		},
 	}
 
-	// Uniform designs: every site carries one component's noise.
+	// Uniform designs: every site carries one component's noise. The
+	// multi-depth library profiles each component at several chain
+	// lengths, so the rows group by component and every site draws the NM
+	// measured at the depth closest to its layer's MAC fan-in.
 	sites := t.Net.Sites()
 	mulOps := t.Net.OpsByLayer(1)
 	var totalMul float64
 	for _, c := range mulOps {
 		totalMul += c.Mul
 	}
+	depths := t.Net.MACDepths()
+	var order []string
+	byName := map[string][]core.ComponentProfile{}
 	for _, p := range design.Profiles() {
+		if _, ok := byName[p.Component.Name]; !ok {
+			order = append(order, p.Component.Name)
+		}
+		byName[p.Component.Name] = append(byName[p.Component.Name], p)
+	}
+	for _, name := range order {
+		ps := byName[name]
+		var lens []int
+		for _, p := range ps {
+			if p.ChainLen > 0 {
+				lens = append(lens, p.ChainLen)
+			}
+		}
 		params := map[noise.Site]noise.Params{}
 		for _, s := range sites {
-			params[s] = noise.Params{NM: p.NM, NA: 0}
+			best := ps[0]
+			if len(ps) > 1 {
+				pick := core.PickChainLen(lens, depths[s.Layer])
+				for _, p := range ps {
+					if p.ChainLen == pick {
+						best = p
+						break
+					}
+				}
+			}
+			params[s] = noise.Params{NM: best.NM, NA: 0}
 		}
 		inj := noise.NewPerSite(params, r.Cfg.Seed+71)
 		acc := caps.Accuracy(t.Net, x, y, inj, 32)
 		out.Uniform = append(out.Uniform, SelectionRow{
-			Design:    "uniform " + p.Component.Name,
+			Design:    "uniform " + name,
 			Accuracy:  acc,
-			MulSaving: p.Component.PowerReduction(),
+			MulSaving: ps[0].Component.PowerReduction(),
 		})
 	}
 	return out, nil

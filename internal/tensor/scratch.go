@@ -14,8 +14,9 @@ package tensor
 // A Scratch is NOT safe for concurrent use; give each worker goroutine
 // its own.
 type Scratch struct {
-	free  map[int][][]float64
-	stats ScratchStats
+	free    map[int][][]float64
+	freeU16 map[int][][]uint16
+	stats   ScratchStats
 }
 
 // ScratchStats tallies an arena's traffic: how many buffer requests were
@@ -44,7 +45,10 @@ func (a ScratchStats) Plus(b ScratchStats) ScratchStats {
 
 // NewScratch returns an empty arena.
 func NewScratch() *Scratch {
-	return &Scratch{free: make(map[int][][]float64)}
+	return &Scratch{
+		free:    make(map[int][][]float64),
+		freeU16: make(map[int][][]uint16),
+	}
 }
 
 // Stats returns the arena's traffic tallies (zero for a nil Scratch).
@@ -103,6 +107,41 @@ func (s *Scratch) Release(ts ...*Tensor) {
 		}
 		n := len(t.Data)
 		s.free[n] = append(s.free[n], t.Data)
+		s.stats.Releases++
+	}
+}
+
+// TakeU16 returns a uint16 buffer of length n, recycled when possible.
+// The contents are undefined. Quantized execution backends use these for
+// operand codes, which would otherwise be fresh garbage on every layer of
+// every batch. A nil Scratch allocates fresh.
+func (s *Scratch) TakeU16(n int) []uint16 {
+	if s == nil {
+		return make([]uint16, n)
+	}
+	s.stats.Takes++
+	if bufs := s.freeU16[n]; len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		s.freeU16[n] = bufs[:len(bufs)-1]
+		s.stats.Reuses++
+		return buf
+	}
+	s.stats.Allocs++
+	s.stats.AllocBytes += 2 * int64(n)
+	return make([]uint16, n)
+}
+
+// ReleaseU16 returns uint16 buffers to the arena for reuse. The buffers
+// must not be used afterwards. Releasing to a nil Scratch is a no-op.
+func (s *Scratch) ReleaseU16(bufs ...[]uint16) {
+	if s == nil {
+		return
+	}
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		s.freeU16[len(b)] = append(s.freeU16[len(b)], b)
 		s.stats.Releases++
 	}
 }
