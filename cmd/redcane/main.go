@@ -21,6 +21,8 @@
 //	                          design, group, and MAC layer
 //	characterize [component]  error profiles of one or all library multipliers
 //	energy                    the energy analysis bundle (table1 + fig4 + fig5)
+//	serve                     long-running HTTP/JSON analysis job service
+//	                          (serve flags: -addr :8080, -queue 16, -slots 2)
 //	list                      list benchmarks and experiment ids
 //
 // Flags:
@@ -48,7 +50,8 @@
 // Exit codes: 0 success, 1 error, 2 usage, 130 interrupted (SIGINT or
 // SIGTERM). On interrupt the run stops at the next batch boundary,
 // flushes the -metrics snapshot and any partial outputs, and — with
-// -checkpoint — leaves a resumable analysis checkpoint in -dir.
+// -checkpoint — leaves a resumable analysis checkpoint in -dir. The
+// serve command treats SIGINT/SIGTERM as a graceful drain and exits 0.
 package main
 
 import (
@@ -57,18 +60,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"syscall"
+	"time"
 
 	"redcane/internal/approx"
 	"redcane/internal/core"
 	"redcane/internal/experiments"
 	"redcane/internal/obs"
+	"redcane/internal/server"
 )
 
 // exitInterrupted is the conventional exit status for a SIGINT-style
@@ -101,12 +108,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "redcane:", err)
 		os.Exit(2)
 	}
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
-		addr := *pprofAddr
-		o.Info("pprof server listening", obs.F("addr", addr))
+		// net/http/pprof registers on the default mux; wrapping it in an
+		// owned server (rather than the old bare ListenAndServe) gives the
+		// endpoint header timeouts and a shutdown handle that is closed
+		// below instead of leaking past process teardown.
+		pprofSrv = server.NewHTTPServer(*pprofAddr, http.DefaultServeMux)
+		o.Info("pprof server listening", obs.F("addr", *pprofAddr))
 		go func() {
-			if err := http.ListenAndServe(addr, nil); err != nil {
-				o.Warn("pprof server failed", obs.F("addr", addr), obs.F("err", err))
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				o.Warn("pprof server failed", obs.F("addr", *pprofAddr), obs.F("err", err))
 			}
 		}()
 	}
@@ -144,7 +156,10 @@ func main() {
 		Ctx: runCtx, Checkpoint: *checkpointOn,
 	}
 	r := experiments.NewRunner(cfg)
-	c := &cli{runner: r, obs: o, csvDir: *csvDir, jsonPath: *jsonPath, backend: *backend, bits: *bits}
+	c := &cli{
+		runner: r, obs: o, ctx: runCtx, cfg: cfg,
+		csvDir: *csvDir, jsonPath: *jsonPath, backend: *backend, bits: *bits,
+	}
 	runErr := c.run(os.Stdout, flag.Arg(0), flag.Args()[1:])
 	signal.Stop(sig)
 	cancel()
@@ -167,6 +182,11 @@ func main() {
 				exitCode = 1
 			}
 		}
+	}
+	if pprofSrv != nil {
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		pprofSrv.Shutdown(shutCtx) //nolint:errcheck // best-effort teardown
+		shutCancel()
 	}
 	if *metricsPath != "" {
 		if err := writeMetrics(o, *metricsPath); err != nil {
@@ -202,14 +222,19 @@ func buildObs(logLevel string, verbose, needMetrics bool) (*obs.Obs, error) {
 	return obs.New(level, obs.NewTextSink(os.Stderr)), nil
 }
 
-// writeMetrics persists the end-of-run metrics snapshot.
+// writeMetrics persists the end-of-run metrics snapshot. The close error
+// is returned: a snapshot that did not reach the disk (full filesystem,
+// quota) must fail the flush rather than silently report success.
 func writeMetrics(o *obs.Obs, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return o.Metrics().Snapshot().WriteJSON(f)
+	if err := o.Metrics().Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage(w io.Writer) {
@@ -220,7 +245,8 @@ commands:
   experiment <id> | all     table1..table4, fig4..fig6, fig9..fig12,
                             ablation-routing, ablation-lut, ablation-na,
                             ablation-faults, ablation-selection,
-                            ablation-range, stability, accel
+                            ablation-range, stability, accel, validate,
+                            groups-<benchmark>, layers-<benchmark>
   design [benchmark]        full 6-step methodology (see 'list')
   refine [benchmark]        design + validate-and-repair refinement loop
   validate [benchmark]      run the selected design bit-accurately on the
@@ -228,6 +254,9 @@ commands:
                             the noise model per design, group, and MAC layer
   characterize [component]  multiplier error profiles
   energy                    table1 + fig4 + fig5
+  serve                     HTTP/JSON analysis job service over -dir; jobs
+                            checkpoint and resume across restarts
+                            (serve flags: -addr :8080, -queue 16, -slots 2)
   list                      benchmarks and experiment ids
 
 flags:
@@ -253,13 +282,16 @@ flags:
 
 exit codes:
   0 success, 1 error, 2 usage, 130 interrupted (SIGINT/SIGTERM stops at
-  the next batch boundary; a second signal kills immediately)`)
+  the next batch boundary; a second signal kills immediately; serve
+  drains gracefully and exits 0)`)
 }
 
 // cli bundles the runner with output options.
 type cli struct {
 	runner   *experiments.Runner
 	obs      *obs.Obs
+	ctx      context.Context
+	cfg      experiments.Config
 	csvDir   string
 	jsonPath string
 	backend  string
@@ -286,10 +318,9 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 	case "design", "refine":
 		b := experiments.Benchmarks[4]
 		if len(args) == 1 {
-			var ok bool
-			b, ok = findBenchmark(args[0])
-			if !ok {
-				return fmt.Errorf("unknown benchmark %q; see 'redcane list'", args[0])
+			var err error
+			if b, err = experiments.FindBenchmark(args[0]); err != nil {
+				return err
 			}
 		}
 		res, err := r.Design(b)
@@ -328,10 +359,9 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 	case "validate":
 		b := experiments.Benchmarks[4]
 		if len(args) == 1 {
-			var ok bool
-			b, ok = findBenchmark(args[0])
-			if !ok {
-				return fmt.Errorf("unknown benchmark %q; see 'redcane list'", args[0])
+			var err error
+			if b, err = experiments.FindBenchmark(args[0]); err != nil {
+				return err
 			}
 		}
 		backend := c.backend
@@ -356,15 +386,20 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 			}
 		}
 		return nil
+	case "serve":
+		return c.serve(w, args)
 	case "list":
 		fmt.Fprintln(w, "benchmarks:")
 		for _, b := range experiments.Benchmarks {
 			fmt.Fprintf(w, "  %s\n", b.Key())
 		}
-		fmt.Fprintln(w, "experiments: table1 table2 table3 table4 fig4 fig5 fig6 fig9 fig10 fig11 fig12")
-		fmt.Fprintln(w, "ablations:   ablation-routing ablation-lut ablation-na ablation-faults")
-		fmt.Fprintln(w, "             ablation-selection ablation-range")
-		fmt.Fprintln(w, "extensions:  accel (system-level energy), stability (seed error bars)")
+		// Derived from the experiment table so the listing cannot drift
+		// from what `experiment` actually accepts.
+		fmt.Fprintln(w, "experiments (in 'all' order):")
+		fmt.Fprintf(w, "  %s\n", strings.Join(experimentIDs(true), " "))
+		fmt.Fprintln(w, "per-benchmark sweeps (not part of 'all'):")
+		fmt.Fprintln(w, "  groups-<benchmark>  methodology Steps 1-3 (Fig. 9/12 for that benchmark)")
+		fmt.Fprintln(w, "  layers-<benchmark>  layer-wise MAC sweep (Fig. 10 for that benchmark)")
 		return nil
 	default:
 		usage(os.Stderr)
@@ -372,99 +407,197 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 	}
 }
 
-func findBenchmark(key string) (experiments.Benchmark, bool) {
-	for _, b := range experiments.Benchmarks {
-		if b.Key() == key {
-			return b, true
-		}
+// serve runs the long-lived analysis service until the run context is
+// cancelled (SIGINT/SIGTERM), then drains: admission stops, running jobs
+// cancel at their next batch boundary with their progress checkpointed
+// under -dir, the metrics snapshot flushes, and open connections close.
+// A clean drain exits 0.
+func (c *cli) serve(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 16, "max queued jobs before submissions get 429")
+	slots := fs.Int("slots", 2, "jobs running concurrently (each gets -workers/-slots goroutines)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	return experiments.Benchmark{}, false
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no arguments, got %q", fs.Args())
+	}
+	srv, err := server.New(server.Config{
+		StateDir: c.cfg.Dir, Quick: c.cfg.Quick, Seed: c.cfg.Seed,
+		Workers: c.cfg.Workers, Slots: *slots, QueueCap: *queue, Obs: c.obs,
+	})
+	if err != nil {
+		return err
+	}
+	hs := server.NewHTTPServer(*addr, srv)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "redcane serve listening on %s (state: %s)\n", ln.Addr(), c.cfg.Dir)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died; still drain so running jobs checkpoint.
+		if derr := srv.Drain(context.Background()); derr != nil {
+			return errors.Join(err, derr)
+		}
+		return err
+	case <-c.ctx.Done():
+	}
+	// Drain before Shutdown: open NDJSON event streams only end when
+	// their jobs' sinks close, which draining causes; Shutdown would
+	// otherwise wait on them forever.
+	fmt.Fprintln(w, "redcane serve draining")
+	if err := srv.Drain(context.Background()); err != nil {
+		return err
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "redcane serve drained cleanly")
+	return nil
 }
 
 // renderer is any experiment result.
 type renderer interface{ Render() string }
 
+// experimentEntry is one row of the experiment registry: the id the CLI
+// accepts, whether `experiment all` includes it, and how to run it.
+type experimentEntry struct {
+	id    string
+	inAll bool
+	run   func(c *cli, w io.Writer) error
+}
+
+// resultEntry adapts the common single-result shape (run, render,
+// optionally CSV under the experiment id) into an entry.
+func resultEntry(id string, inAll bool, f func(c *cli) (renderer, error)) experimentEntry {
+	return experimentEntry{id: id, inAll: inAll, run: func(c *cli, w io.Writer) error {
+		res, err := f(c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Render())
+		if c.csvDir != "" {
+			return c.writeCSV(id, res)
+		}
+		return nil
+	}}
+}
+
+// experimentTable is the single registry every experiment-facing path
+// derives from: `experiment <id>` lookup, the `experiment all` sequence,
+// the `list` output and the unknown-id error all read it, so an
+// experiment added here is automatically reachable everywhere. The
+// per-benchmark groups-/layers- entries run the same job-shaped sweeps
+// the analysis service runs, which is what lets the smoke test compare
+// HTTP artifacts against the CLI byte-for-byte.
+func experimentTable() []experimentEntry {
+	entries := []experimentEntry{
+		resultEntry("table1", true, func(c *cli) (renderer, error) { return experiments.Table1() }),
+		resultEntry("fig4", true, func(c *cli) (renderer, error) { return experiments.Fig4() }),
+		resultEntry("fig5", true, func(c *cli) (renderer, error) { return experiments.Fig5() }),
+		resultEntry("fig6", true, func(c *cli) (renderer, error) { return c.runner.Fig6() }),
+		resultEntry("table2", true, func(c *cli) (renderer, error) { return c.runner.Table2() }),
+		resultEntry("table3", true, func(c *cli) (renderer, error) { return c.runner.Table3() }),
+		resultEntry("fig9", true, func(c *cli) (renderer, error) { return c.runner.Fig9() }),
+		resultEntry("fig10", true, func(c *cli) (renderer, error) { return c.runner.Fig10() }),
+		resultEntry("fig11", true, func(c *cli) (renderer, error) { return c.runner.Fig11() }),
+		resultEntry("table4", true, func(c *cli) (renderer, error) { return c.runner.Table4() }),
+		{id: "fig12", inAll: true, run: func(c *cli, w io.Writer) error {
+			results, err := c.runner.Fig12()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Fig. 12 — group-wise resilience on the remaining benchmarks")
+			for _, g := range results {
+				fmt.Fprint(w, g.Render())
+			}
+			return c.writeFig12CSVs(results)
+		}},
+		resultEntry("ablation-routing", true, func(c *cli) (renderer, error) { return c.runner.AblationRoutingIterations() }),
+		resultEntry("ablation-lut", true, func(c *cli) (renderer, error) { return c.runner.AblationNoiseVsLUT() }),
+		resultEntry("ablation-na", true, func(c *cli) (renderer, error) { return c.runner.AblationNoiseAverage() }),
+		resultEntry("ablation-faults", true, func(c *cli) (renderer, error) { return c.runner.AblationFaultTypes() }),
+		resultEntry("ablation-selection", true, func(c *cli) (renderer, error) {
+			return c.runner.AblationSelectionStrategy(experiments.Benchmarks[4])
+		}),
+		resultEntry("ablation-range", true, func(c *cli) (renderer, error) {
+			return c.runner.AblationRangeEstimator(experiments.Benchmarks[4])
+		}),
+		resultEntry("stability", true, func(c *cli) (renderer, error) {
+			return c.runner.Stability(experiments.Benchmarks[4], 5)
+		}),
+		resultEntry("accel", true, func(c *cli) (renderer, error) { return experiments.Accel() }),
+		// validate used to be reachable only as a command, so `experiment
+		// all` silently skipped the noise-model validation artifact.
+		resultEntry("validate", true, func(c *cli) (renderer, error) {
+			backend := c.backend
+			if backend == "" {
+				backend = "quant-approx"
+			}
+			return c.runner.Validate(experiments.Benchmarks[4], backend, c.bits)
+		}),
+	}
+	for _, b := range experiments.Benchmarks {
+		b := b
+		entries = append(entries,
+			resultEntry("groups-"+b.Key(), false, func(c *cli) (renderer, error) {
+				return c.runner.GroupSweep(b, experiments.Overrides{})
+			}),
+			resultEntry("layers-"+b.Key(), false, func(c *cli) (renderer, error) {
+				return c.runner.LayerSweep(b, experiments.Overrides{})
+			}),
+		)
+	}
+	return entries
+}
+
+// experimentIDs lists the registered ids, optionally only those that
+// `experiment all` runs.
+func experimentIDs(inAllOnly bool) []string {
+	var ids []string
+	for _, e := range experimentTable() {
+		if !inAllOnly || e.inAll {
+			ids = append(ids, e.id)
+		}
+	}
+	return ids
+}
+
 func (c *cli) runExperiments(w io.Writer, id string) error {
-	r := c.runner
+	table := experimentTable()
 	if id == "all" {
-		for _, one := range []string{
-			"table1", "fig4", "fig5", "fig6", "table2", "table3",
-			"fig9", "fig10", "fig11", "table4", "fig12",
-			"ablation-routing", "ablation-lut", "ablation-na", "ablation-faults",
-			"ablation-selection", "ablation-range", "stability", "accel",
-		} {
-			if err := c.runExperiments(w, one); err != nil {
+		for _, e := range table {
+			if !e.inAll {
+				continue
+			}
+			if err := c.runExperiment(w, e); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
 		}
 		return nil
 	}
+	for _, e := range table {
+		if e.id == id {
+			return c.runExperiment(w, e)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q; valid: %s, all (and groups-/layers-<benchmark>; see 'redcane list')",
+		id, strings.Join(experimentIDs(true), " "))
+}
 
-	sp := c.obs.StartSpan("experiment." + id)
+func (c *cli) runExperiment(w io.Writer, e experimentEntry) error {
+	sp := c.obs.StartSpan("experiment." + e.id)
 	defer sp.End()
-	var res renderer
-	var err error
-	switch id {
-	case "table1":
-		res, err = experiments.Table1()
-	case "fig4":
-		res, err = experiments.Fig4()
-	case "fig5":
-		res, err = experiments.Fig5()
-	case "fig6":
-		res, err = r.Fig6()
-	case "table2":
-		res, err = r.Table2()
-	case "table3":
-		res, err = r.Table3()
-	case "fig9":
-		res, err = r.Fig9()
-	case "fig10":
-		res, err = r.Fig10()
-	case "fig11":
-		res, err = r.Fig11()
-	case "accel":
-		res, err = experiments.Accel()
-	case "table4":
-		res, err = r.Table4()
-	case "fig12":
-		results, ferr := r.Fig12()
-		if ferr != nil {
-			return ferr
-		}
-		fmt.Fprintln(w, "Fig. 12 — group-wise resilience on the remaining benchmarks")
-		for _, g := range results {
-			fmt.Fprint(w, g.Render())
-		}
-		return c.writeFig12CSVs(results)
-	case "ablation-routing":
-		res, err = r.AblationRoutingIterations()
-	case "ablation-lut":
-		res, err = r.AblationNoiseVsLUT()
-	case "ablation-na":
-		res, err = r.AblationNoiseAverage()
-	case "ablation-faults":
-		res, err = r.AblationFaultTypes()
-	case "ablation-selection":
-		res, err = r.AblationSelectionStrategy(experiments.Benchmarks[4])
-	case "ablation-range":
-		res, err = r.AblationRangeEstimator(experiments.Benchmarks[4])
-	case "stability":
-		res, err = r.Stability(experiments.Benchmarks[4], 5)
-	default:
-		return fmt.Errorf("unknown experiment %q; see 'redcane list'", id)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, res.Render())
-	if c.csvDir != "" {
-		if err := c.writeCSV(id, res); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.run(c, w)
 }
 
 // csvWriter is implemented by results with a machine-readable form.

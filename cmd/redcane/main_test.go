@@ -100,11 +100,67 @@ func TestCharacterizeSingleComponent(t *testing.T) {
 }
 
 func TestFindBenchmark(t *testing.T) {
-	if _, ok := findBenchmark("deepcaps-cifar-like"); !ok {
-		t.Fatal("known benchmark not found")
+	// The CLI resolves benchmarks through the shared case-insensitive
+	// lookup, so DeepCaps-CIFAR-Like works anywhere deepcaps-cifar-like
+	// does, and a typo's error names every valid key.
+	for _, key := range []string{"deepcaps-cifar-like", "DeepCaps-CIFAR-Like"} {
+		b, err := experiments.FindBenchmark(key)
+		if err != nil {
+			t.Fatalf("FindBenchmark(%q): %v", key, err)
+		}
+		if b.Key() != "deepcaps-cifar-like" {
+			t.Fatalf("FindBenchmark(%q) = %q", key, b.Key())
+		}
 	}
-	if _, ok := findBenchmark("x"); ok {
+	_, err := experiments.FindBenchmark("x")
+	if err == nil {
 		t.Fatal("unknown benchmark found")
+	}
+	if !strings.Contains(err.Error(), "capsnet-mnist-like") {
+		t.Fatalf("error should list the valid keys: %v", err)
+	}
+}
+
+func TestExperimentTableIncludesValidate(t *testing.T) {
+	// Regression: `experiment all` used to be a hand-maintained list that
+	// had drifted to omit validate. The table is now the single registry.
+	ids := experimentIDs(true)
+	found := map[string]bool{}
+	for _, id := range ids {
+		if found[id] {
+			t.Fatalf("duplicate experiment id %q", id)
+		}
+		found[id] = true
+	}
+	for _, want := range []string{"table1", "fig12", "stability", "accel", "validate"} {
+		if !found[want] {
+			t.Fatalf("'all' sequence missing %q: %v", want, ids)
+		}
+	}
+	// Per-benchmark sweep ids are registered but excluded from 'all'.
+	all := experimentIDs(false)
+	perBench := map[string]bool{}
+	for _, id := range all {
+		perBench[id] = true
+	}
+	if !perBench["groups-capsnet-mnist-like"] || !perBench["layers-capsnet-mnist-like"] {
+		t.Fatalf("per-benchmark sweep ids missing: %v", all)
+	}
+	if found["groups-capsnet-mnist-like"] {
+		t.Fatal("per-benchmark sweeps must not be part of 'all'")
+	}
+}
+
+func TestUnknownExperimentErrorListsIDs(t *testing.T) {
+	var b strings.Builder
+	err := testCLI(t).run(&b, "experiment", []string{"fig99"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"fig99", "validate", "table4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error should mention %q: %v", want, err)
+		}
 	}
 }
 
@@ -114,6 +170,7 @@ func TestUsageDocumentsAllCommandsAndFlags(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"train", "experiment", "design", "refine", "validate", "characterize", "energy", "list",
+		"serve", "-addr", "-queue", "-slots",
 		"-dir", "-quick", "-seed", "-workers", "-checkpoint", "-csv", "-json", "-v",
 		"-backend", "-bits", "quant-approx",
 		"-log-level", "-metrics", "-pprof", "-cpuprofile",

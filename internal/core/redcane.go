@@ -65,7 +65,10 @@ type Options struct {
 	// PrefixCacheMB bounds the memory (in MiB) of the clean-prefix
 	// activation cache used by the sweep engine (0 = 256; negative forces
 	// single-batch windows, the smallest possible — window layout never
-	// affects results, only scheduling).
+	// affects results, only scheduling). WithDefaults normalizes every
+	// negative value to -1, and the sweeper floors the derived byte
+	// budget at zero, so a stray negative can never flow into the window
+	// arithmetic as a negative byte count.
 	PrefixCacheMB int
 }
 
@@ -93,6 +96,8 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.PrefixCacheMB == 0 {
 		o.PrefixCacheMB = 256
+	} else if o.PrefixCacheMB < 0 {
+		o.PrefixCacheMB = -1
 	}
 	return o
 }

@@ -259,6 +259,11 @@ func (a *Analyzer) prefixBytesPerBatch(frontier, batch int) int {
 func (a *Analyzer) prefixWindow(frontier, nb int) int {
 	per := a.prefixBytesPerBatch(frontier, a.Opts.Batch)
 	budget := a.Opts.PrefixCacheMB * 1 << 20
+	if budget < 0 {
+		// Negative PrefixCacheMB means "smallest possible windows"; the
+		// byte budget itself must never go negative.
+		budget = 0
+	}
 	w := 1
 	if per > 0 {
 		w = budget / per

@@ -157,3 +157,23 @@ func TestOptionsWorkerDefaults(t *testing.T) {
 		t.Fatalf("explicit values overridden: %+v", kept)
 	}
 }
+
+func TestOptionsPrefixCacheClamped(t *testing.T) {
+	// Regression: WithDefaults left negative PrefixCacheMB values as-is,
+	// so a stray -5 flowed into the sweeper as a negative byte budget.
+	// Every negative now normalizes to the canonical -1 ("single-batch
+	// windows") and the derived byte budget is floored at zero.
+	for _, mb := range []int{-1, -5, -1 << 30} {
+		o := (Options{PrefixCacheMB: mb}).WithDefaults()
+		if o.PrefixCacheMB != -1 {
+			t.Fatalf("WithDefaults(PrefixCacheMB=%d) = %d, want -1", mb, o.PrefixCacheMB)
+		}
+	}
+	a := derived(t)
+	a.Opts.PrefixCacheMB = -7 // bypasses WithDefaults: the sweeper must still clamp
+	frontier := a.Net.InjectionFrontier(noise.ForGroup(noise.Softmax))
+	nb := (a.Data.TestX.Shape[0] + a.Opts.Batch - 1) / a.Opts.Batch
+	if w := a.prefixWindow(frontier, nb); w != 1 {
+		t.Fatalf("negative budget window = %d, want 1", w)
+	}
+}

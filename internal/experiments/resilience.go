@@ -93,13 +93,38 @@ type GroupSweepResult struct {
 	Groups    []core.GroupResult
 }
 
-// groupSweep runs methodology Steps 1–3 on one benchmark.
-func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
+// Overrides optionally replaces the analysis knobs of a job-shaped sweep
+// entry point. The zero value reproduces the paper defaults, so results
+// submitted without overrides are byte-identical to the corresponding CLI
+// experiment (same seed, same options fingerprint).
+type Overrides struct {
+	// NMSweep replaces the noise-magnitude grid (nil keeps
+	// core.PaperNMSweep). The grid is normalized by Options.WithDefaults.
+	NMSweep []float64
+	// NA replaces the noise average (paper default 0).
+	NA float64
+}
+
+// apply folds the overrides into opts.
+func (ov Overrides) apply(opts core.Options) core.Options {
+	if ov.NMSweep != nil {
+		opts.NMSweep = ov.NMSweep
+	}
+	opts.NA = ov.NA
+	return opts
+}
+
+// GroupSweep runs methodology Steps 1–3 (the group-wise resilience
+// analysis of Fig. 9/12) on one benchmark. It is the job-shaped entry
+// point shared by the CLI experiments and the analysis service: it
+// returns the structured result (Render/WriteCSV produce the CLI's
+// artifacts) instead of printing.
+func (r *Runner) GroupSweep(b Benchmark, ov Overrides) (*GroupSweepResult, error) {
 	t, err := r.Trained(b)
 	if err != nil {
 		return nil, err
 	}
-	opts := core.Options{
+	opts := ov.apply(core.Options{
 		NMSweep:   core.PaperNMSweep,
 		Trials:    r.trials(),
 		Batch:     32,
@@ -107,7 +132,7 @@ func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
 		Seed:      r.Cfg.Seed + 21,
 		MaxEval:   r.evalCap(),
 		Workers:   r.Cfg.Workers,
-	}.WithDefaults()
+	}).WithDefaults()
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
@@ -131,14 +156,14 @@ func (r *Runner) groupSweep(b Benchmark) (*GroupSweepResult, error) {
 // Fig9 is the group-wise resilience of DeepCaps on the CIFAR-like
 // dataset.
 func (r *Runner) Fig9() (*GroupSweepResult, error) {
-	return r.groupSweep(Benchmarks[0])
+	return r.GroupSweep(Benchmarks[0], Overrides{})
 }
 
 // Fig12 is the group-wise resilience of the other four benchmarks.
 func (r *Runner) Fig12() ([]*GroupSweepResult, error) {
 	var out []*GroupSweepResult
 	for _, b := range Benchmarks[1:] {
-		res, err := r.groupSweep(b)
+		res, err := r.GroupSweep(b, Overrides{})
 		if err != nil {
 			return nil, err
 		}
@@ -205,11 +230,18 @@ type Fig10Result struct {
 
 // Fig10 runs methodology Steps 4–5 on the Fig. 9 outcome.
 func (r *Runner) Fig10() (*Fig10Result, error) {
-	t, err := r.Trained(Benchmarks[0])
+	return r.LayerSweep(Benchmarks[0], Overrides{})
+}
+
+// LayerSweep runs methodology Steps 1–5 (group-wise plus the layer-wise
+// resilience analysis of the non-resilient groups, Fig. 10) on one
+// benchmark — the job-shaped generalization of Fig10.
+func (r *Runner) LayerSweep(b Benchmark, ov Overrides) (*Fig10Result, error) {
+	t, err := r.Trained(b)
 	if err != nil {
 		return nil, err
 	}
-	opts := core.Options{
+	opts := ov.apply(core.Options{
 		NMSweep:   core.PaperNMSweep,
 		Trials:    r.trials(),
 		Batch:     32,
@@ -217,10 +249,10 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 		Seed:      r.Cfg.Seed + 22,
 		MaxEval:   r.evalCap(),
 		Workers:   r.Cfg.Workers,
-	}.WithDefaults()
+	}).WithDefaults()
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
-		Checkpoint: r.analysisCheckpoint(Benchmarks[0], opts),
+		Checkpoint: r.analysisCheckpoint(b, opts),
 	}
 	ctx := r.ctx()
 	clean, err := a.CleanAccuracyCtx(ctx)
@@ -235,7 +267,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fig10Result{Benchmark: Benchmarks[0], Clean: clean, Layers: layers}, nil
+	return &Fig10Result{Benchmark: b, Clean: clean, Layers: layers}, nil
 }
 
 // Render formats the per-layer tolerated noise magnitudes.

@@ -13,6 +13,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"redcane/internal/caps"
 	"redcane/internal/checkpoint"
@@ -54,9 +56,20 @@ type Config struct {
 	// Checkpoint persists completed analysis work (sweep windows,
 	// finished methodology steps) under Dir, keyed by (benchmark, seed,
 	// options fingerprint), so an interrupted design/refine/experiment
-	// run resumes bit-identically. Requires Dir; cancellation works
-	// without it, resume does not.
+	// run resumes bit-identically. Requires Dir (or CheckpointDir);
+	// cancellation works without it, resume does not.
 	Checkpoint bool
+	// CheckpointDir, when set, overrides where analysis checkpoints are
+	// written while the weight cache stays under Dir. The analysis
+	// service keys each job's checkpoints by its job directory so
+	// concurrent jobs with identical (benchmark, seed, options) never
+	// share — or clobber — a checkpoint file.
+	CheckpointDir string
+	// TrainMu, when non-nil, serializes Trained across runners sharing a
+	// weight-cache Dir (the analysis service's concurrent jobs): only
+	// one runner at a time trains or loads, so two jobs never race to
+	// write the same cache file or redundantly train the same benchmark.
+	TrainMu *sync.Mutex
 }
 
 // Benchmark is one (architecture, dataset) pair of the paper's Table II.
@@ -78,6 +91,28 @@ var Benchmarks = []Benchmark{
 	{Arch: "deepcaps", Dataset: "mnist-like", PaperAccuracy: 99.72},
 	{Arch: "capsnet", Dataset: "fashion-like", PaperAccuracy: 92.88},
 	{Arch: "capsnet", Dataset: "mnist-like", PaperAccuracy: 99.67},
+}
+
+// BenchmarkKeys lists the benchmark keys in Table II order.
+func BenchmarkKeys() []string {
+	keys := make([]string, len(Benchmarks))
+	for i, b := range Benchmarks {
+		keys[i] = b.Key()
+	}
+	return keys
+}
+
+// FindBenchmark resolves a benchmark key case-insensitively. An unknown
+// key errors naming every valid one, so a typo at the CLI or in a job
+// submission is diagnosable without a round-trip through 'redcane list'.
+func FindBenchmark(key string) (Benchmark, error) {
+	for _, b := range Benchmarks {
+		if strings.EqualFold(b.Key(), key) {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("experiments: unknown benchmark %q (valid: %s)",
+		key, strings.Join(BenchmarkKeys(), ", "))
 }
 
 // Trained is a ready-to-analyze benchmark: inference network with trained
@@ -126,15 +161,19 @@ func (r *Runner) mode() string {
 
 // analysisCheckpoint opens (or resumes) the on-disk checkpoint store for
 // one benchmark's analysis, keyed by (benchmark+mode, seed, options
-// fingerprint). Returns nil when checkpointing is off or Dir is unset;
-// open failures degrade to no checkpointing with a warning, never an
-// aborted run.
+// fingerprint) under CheckpointDir (falling back to Dir). Returns nil
+// when checkpointing is off or no directory is configured; open failures
+// degrade to no checkpointing with a warning, never an aborted run.
 func (r *Runner) analysisCheckpoint(b Benchmark, opts core.Options) *checkpoint.Store {
-	if !r.Cfg.Checkpoint || r.Cfg.Dir == "" {
+	dir := r.Cfg.CheckpointDir
+	if dir == "" {
+		dir = r.Cfg.Dir
+	}
+	if !r.Cfg.Checkpoint || dir == "" {
 		return nil
 	}
 	name := b.Key() + "-" + r.mode()
-	st, resumed, err := checkpoint.Open(r.Cfg.Dir, name, r.Cfg.Seed, opts.Fingerprint())
+	st, resumed, err := checkpoint.Open(dir, name, r.Cfg.Seed, opts.Fingerprint())
 	if err != nil {
 		r.obs().Warn("checkpoint open failed; continuing without resume",
 			obs.F("benchmark", name), obs.F("err", err))
@@ -222,11 +261,16 @@ func (r *Runner) spec(arch string, ds *datasets.Dataset) (models.Spec, error) {
 }
 
 // Trained returns the trained benchmark, training it on first use and
-// caching weights in memory and (when Dir is set) on disk.
+// caching weights in memory and (when Dir is set) on disk. With a
+// non-nil Cfg.TrainMu the load-or-train path runs under that lock.
 func (r *Runner) Trained(b Benchmark) (*Trained, error) {
 	key := b.Key()
 	if t, ok := r.cache[key]; ok {
 		return t, nil
+	}
+	if r.Cfg.TrainMu != nil {
+		r.Cfg.TrainMu.Lock()
+		defer r.Cfg.TrainMu.Unlock()
 	}
 	sp := r.obs().StartSpan("train.dataset", obs.F("dataset", b.Dataset))
 	ds, err := r.dataset(b.Dataset)

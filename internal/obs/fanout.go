@@ -1,0 +1,174 @@
+package obs
+
+import "sync"
+
+// This file adds event fan-out to the telemetry substrate: a MultiSink
+// that tees events to several sinks, and a SubSink that retains recent
+// events and republishes them to dynamically attached subscribers. The
+// analysis service bridges a job's SubSink onto its NDJSON event stream
+// (GET /v1/jobs/{id}/events): a subscriber attaching mid-run first
+// replays the retained history, then follows live events, with no gap
+// and no duplicate because Subscribe snapshots and registers under one
+// lock.
+
+// MultiSink returns a Sink forwarding every event to each of the given
+// sinks in order. Nil sinks are skipped; zero usable sinks yields nil
+// (which Obs treats as "no events").
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+type multiSink []Sink
+
+// Write implements Sink.
+func (m multiSink) Write(e Event) {
+	for _, s := range m {
+		s.Write(e)
+	}
+}
+
+// SubSink is a Sink that retains the most recent events (up to a fixed
+// capacity) and fans them out to subscribers. Writes never block: a
+// subscriber whose channel buffer is full loses that event (counted per
+// subscription), so a stalled consumer cannot stall the producing run.
+// Methods are safe for concurrent use.
+type SubSink struct {
+	mu      sync.Mutex
+	cap     int
+	ring    []Event
+	subs    map[*Subscription]struct{}
+	closed  bool
+	trimmed int64 // events dropped from the ring (history truncation)
+}
+
+// DefaultSubSinkCap bounds the retained history when NewSubSink is given
+// a non-positive capacity.
+const DefaultSubSinkCap = 4096
+
+// NewSubSink returns a SubSink retaining up to capacity events
+// (DefaultSubSinkCap when capacity <= 0).
+func NewSubSink(capacity int) *SubSink {
+	if capacity <= 0 {
+		capacity = DefaultSubSinkCap
+	}
+	return &SubSink{cap: capacity, subs: map[*Subscription]struct{}{}}
+}
+
+// Write implements Sink: the event joins the retained history (evicting
+// the oldest when full) and is offered to every live subscriber.
+func (s *SubSink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if len(s.ring) == s.cap {
+		// Shift rather than reslice so the backing array cannot grow
+		// without bound across a long run.
+		copy(s.ring, s.ring[1:])
+		s.ring[len(s.ring)-1] = e
+		s.trimmed++
+	} else {
+		s.ring = append(s.ring, e)
+	}
+	for sub := range s.subs {
+		select {
+		case sub.c <- e:
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// Trimmed reports how many events have been evicted from the retained
+// history.
+func (s *SubSink) Trimmed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trimmed
+}
+
+// Subscribe attaches a new subscriber with the given live-channel buffer
+// (minimum 1). The returned subscription's Replay holds every retained
+// event from before the subscription, and C carries events written after
+// it; together they form the gapless, duplicate-free stream. On a closed
+// SubSink the subscription is returned already terminated (C is closed)
+// with the final history in Replay.
+func (s *SubSink) Subscribe(buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &Subscription{s: s, c: make(chan Event, buf)}
+	sub.C = sub.c
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub.Replay = append([]Event(nil), s.ring...)
+	if s.closed {
+		close(sub.c)
+		return sub
+	}
+	s.subs[sub] = struct{}{}
+	return sub
+}
+
+// Close terminates the sink: subscribers' live channels close (after any
+// buffered events drain) and later writes are discarded. The retained
+// history stays readable through new Subscribe calls. Close is
+// idempotent.
+func (s *SubSink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for sub := range s.subs {
+		close(sub.c)
+	}
+	s.subs = map[*Subscription]struct{}{}
+}
+
+// Subscription is one attached consumer of a SubSink.
+type Subscription struct {
+	// Replay is the retained history from before the subscription.
+	Replay []Event
+	// C carries events written after the subscription; it closes when
+	// the sink closes or the subscription is closed.
+	C <-chan Event
+
+	s       *SubSink
+	c       chan Event
+	dropped int64
+}
+
+// Dropped reports how many live events this subscription lost to a full
+// buffer.
+func (sub *Subscription) Dropped() int64 {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	return sub.dropped
+}
+
+// Close detaches the subscription; C closes after buffered events drain.
+// Closing an already-terminated subscription is a no-op.
+func (sub *Subscription) Close() {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	if _, live := sub.s.subs[sub]; !live {
+		return
+	}
+	delete(sub.s.subs, sub)
+	close(sub.c)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records events for assertions.
+type collectSink struct {
+	mu sync.Mutex
+	ev []Event
+}
+
+func (c *collectSink) Write(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ev = append(c.ev, e)
+}
+
+func (c *collectSink) msgs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.ev))
+	for i, e := range c.ev {
+		out[i] = e.Msg
+	}
+	return out
+}
+
+func TestMultiSinkFanOut(t *testing.T) {
+	a, b := &collectSink{}, &collectSink{}
+	m := MultiSink(a, nil, b)
+	m.Write(Event{Msg: "x"})
+	if len(a.msgs()) != 1 || len(b.msgs()) != 1 {
+		t.Fatalf("fan-out: %v %v", a.msgs(), b.msgs())
+	}
+	if MultiSink(nil, nil) != nil {
+		t.Fatal("all-nil MultiSink should collapse to nil")
+	}
+	// A single usable sink is returned unwrapped.
+	if MultiSink(a, nil) != Sink(a) {
+		t.Fatal("single-sink MultiSink should not wrap")
+	}
+}
+
+func TestSubSinkReplayThenLive(t *testing.T) {
+	s := NewSubSink(16)
+	s.Write(Event{Msg: "before-1"})
+	s.Write(Event{Msg: "before-2"})
+
+	sub := s.Subscribe(8)
+	defer sub.Close()
+	if len(sub.Replay) != 2 || sub.Replay[0].Msg != "before-1" || sub.Replay[1].Msg != "before-2" {
+		t.Fatalf("replay = %+v", sub.Replay)
+	}
+	s.Write(Event{Msg: "after"})
+	select {
+	case e := <-sub.C:
+		if e.Msg != "after" {
+			t.Fatalf("live event = %q", e.Msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("live event never arrived")
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped = %d", sub.Dropped())
+	}
+}
+
+func TestSubSinkRingEviction(t *testing.T) {
+	s := NewSubSink(3)
+	for i := 0; i < 5; i++ {
+		s.Write(Event{Msg: fmt.Sprintf("e%d", i)})
+	}
+	sub := s.Subscribe(1)
+	defer sub.Close()
+	if len(sub.Replay) != 3 || sub.Replay[0].Msg != "e2" || sub.Replay[2].Msg != "e4" {
+		t.Fatalf("replay after eviction = %+v", sub.Replay)
+	}
+	if s.Trimmed() != 2 {
+		t.Fatalf("trimmed = %d", s.Trimmed())
+	}
+}
+
+func TestSubSinkSlowSubscriberDropsNotBlocks(t *testing.T) {
+	s := NewSubSink(16)
+	sub := s.Subscribe(1)
+	defer sub.Close()
+	// Nobody reads sub.C: the first write fills the buffer, the rest must
+	// drop without blocking this goroutine.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			s.Write(Event{Msg: fmt.Sprintf("e%d", i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer blocked on a slow subscriber")
+	}
+	if d := sub.Dropped(); d != 9 {
+		t.Fatalf("dropped = %d, want 9", d)
+	}
+}
+
+func TestSubSinkClose(t *testing.T) {
+	s := NewSubSink(8)
+	s.Write(Event{Msg: "kept"})
+	sub := s.Subscribe(4)
+	s.Close()
+	s.Close() // idempotent
+	if _, open := <-sub.C; open {
+		t.Fatal("live channel should close with the sink")
+	}
+	// Writes after close are discarded.
+	s.Write(Event{Msg: "late"})
+	// A post-close subscription is returned already terminated, history intact.
+	post := s.Subscribe(4)
+	if len(post.Replay) != 1 || post.Replay[0].Msg != "kept" {
+		t.Fatalf("post-close replay = %+v", post.Replay)
+	}
+	if _, open := <-post.C; open {
+		t.Fatal("post-close subscription channel should be closed")
+	}
+	post.Close() // no-op on terminated subscription
+	sub.Close()
+}
+
+func TestSubSinkSubscriptionClose(t *testing.T) {
+	s := NewSubSink(8)
+	sub := s.Subscribe(4)
+	sub.Close()
+	sub.Close() // idempotent
+	if _, open := <-sub.C; open {
+		t.Fatal("closed subscription channel should be closed")
+	}
+	// The sink keeps working for others.
+	s.Write(Event{Msg: "still-alive"})
+	other := s.Subscribe(4)
+	defer other.Close()
+	if len(other.Replay) != 1 {
+		t.Fatalf("replay = %+v", other.Replay)
+	}
+}
+
+func TestSubSinkConcurrentWritersAndSubscribers(t *testing.T) {
+	// Race-detector exercise: concurrent writes, subscribes and closes.
+	s := NewSubSink(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Write(Event{Msg: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := s.Subscribe(8)
+			for i := 0; i < 20; i++ {
+				select {
+				case <-sub.C:
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+	s.Close()
+}
+
+func TestNewWithMetricsSharesRegistry(t *testing.T) {
+	shared := NewMetrics()
+	a := NewWithMetrics(Info, nil, shared)
+	b := NewWithMetrics(Debug, nil, shared)
+	a.Counter("jobs").Add(2)
+	b.Counter("jobs").Add(3)
+	if got := shared.Snapshot().Counters["jobs"]; got != 5 {
+		t.Fatalf("shared counter = %d, want 5", got)
+	}
+	if NewWithMetrics(Info, nil, nil).Metrics() == nil {
+		t.Fatal("nil registry should be replaced, not kept")
+	}
+}

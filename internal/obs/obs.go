@@ -120,7 +120,18 @@ type Obs struct {
 // suppresses events) with a fresh metrics registry. Metrics are collected
 // whenever the Obs itself is non-nil, regardless of level.
 func New(level Level, sink Sink) *Obs {
-	return &Obs{level: level, sink: sink, m: NewMetrics()}
+	return NewWithMetrics(level, sink, nil)
+}
+
+// NewWithMetrics is New recording into the given shared registry instead
+// of a fresh one, so several Obs — e.g. the per-job event streams of the
+// analysis service — fold their engine metrics into one process-wide
+// snapshot. A nil m gets a fresh registry.
+func NewWithMetrics(level Level, sink Sink, m *Metrics) *Obs {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Obs{level: level, sink: sink, m: m}
 }
 
 // Level reports the minimum emitted event level (Off for a nil Obs).

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"redcane/internal/obs"
+)
+
+// wireEvent is the NDJSON form of one obs.Event on the job event stream.
+// Field values are rendered to strings (rather than marshalled as-is)
+// because events attach arbitrary values — errors, durations — whose raw
+// JSON forms are lossy or unmarshalable; %v is what the text sink prints
+// and is always encodable.
+type wireEvent struct {
+	Time   string            `json:"time"`
+	Level  string            `json:"level"`
+	Msg    string            `json:"msg"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// encodeEvent renders one event as a single JSON line (no trailing
+// newline; the stream writer appends it).
+func encodeEvent(e obs.Event) []byte {
+	w := wireEvent{
+		Time:  e.Time.Format(time.RFC3339Nano),
+		Level: e.Level.String(),
+		Msg:   e.Msg,
+	}
+	if len(e.Fields) > 0 {
+		w.Fields = make(map[string]string, len(e.Fields))
+		for _, f := range e.Fields {
+			w.Fields[f.Key] = fmt.Sprintf("%v", f.Value)
+		}
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		// Unreachable: every field is a string by construction.
+		data, _ = json.Marshal(wireEvent{Level: "error", Msg: "event encode failed: " + err.Error()})
+	}
+	return data
+}
+
+// progressSink watches a job's event stream for the sweep engine's
+// progress fields and mirrors the latest values onto the job's status,
+// so GET /v1/jobs/{id} reports progress and ETA without parsing events.
+type progressSink struct {
+	s *Server
+	j *job
+}
+
+// Write implements obs.Sink.
+func (p progressSink) Write(e obs.Event) {
+	var progress, eta string
+	for _, f := range e.Fields {
+		switch f.Key {
+		case "progress":
+			progress = fmt.Sprintf("%v", f.Value)
+		case "eta":
+			eta = fmt.Sprintf("%v", f.Value)
+		}
+	}
+	if progress == "" && eta == "" {
+		return
+	}
+	p.s.mu.Lock()
+	if progress != "" {
+		p.j.progress = progress
+	}
+	if eta != "" {
+		p.j.eta = eta
+	}
+	p.s.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the protocol
+// timeouts every listener in this repository must carry. In particular
+// ReadHeaderTimeout bounds how long a client may dribble request headers
+// (the slowloris hold-open), which the bare http.ListenAndServe default
+// of zero leaves unbounded. Write deadlines are deliberately absent: the
+// analysis service streams NDJSON events for the lifetime of a job.
+//
+// The returned server is also the owner's shutdown handle: callers tie
+// it to their run context and call Shutdown on exit instead of leaking
+// the listener (the CLI uses this for both `serve` and the -pprof
+// endpoint).
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"redcane/internal/experiments"
+	"redcane/internal/obs"
+)
+
+// The job kinds the service runs. Each maps onto one of the job-shaped
+// experiment entry points, so an HTTP job produces byte-identical
+// artifacts to the corresponding CLI invocation with the same seed and
+// options fingerprint.
+const (
+	KindGroupSweep  = "group-sweep"  // methodology Steps 1–3 (Fig. 9/12)
+	KindLayerSweep  = "layer-sweep"  // Steps 1–5 (Fig. 10)
+	KindMethodology = "methodology"  // the full 6-step design run
+	KindValidate    = "validate"     // bit-accurate error-model validation
+)
+
+// JobKinds lists the accepted job kinds.
+var JobKinds = []string{KindGroupSweep, KindLayerSweep, KindMethodology, KindValidate}
+
+// JobSpec is the POST /v1/jobs request body: what to analyze and under
+// which results-affecting knobs. Scheduling knobs (workers, queue) are
+// server-wide and deliberately absent, mirroring how Options.Fingerprint
+// excludes them.
+type JobSpec struct {
+	// Kind selects the analysis: group-sweep, layer-sweep, methodology,
+	// or validate.
+	Kind string `json:"kind"`
+	// Benchmark is the (architecture, dataset) key, case-insensitive
+	// (default capsnet-mnist-like).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Seed overrides the server's master seed for this job.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Backend and Bits select the execution backend of validate jobs
+	// (default quant-approx at 8 bits); rejected for other kinds.
+	Backend string `json:"backend,omitempty"`
+	Bits    uint   `json:"bits,omitempty"`
+	// NMSweep overrides the noise-magnitude grid of sweep jobs; NA the
+	// noise average. Empty keeps the paper defaults, which is what makes
+	// an overrides-free job byte-identical to the CLI experiment.
+	NMSweep []float64 `json:"nm_sweep,omitempty"`
+	NA      float64   `json:"na,omitempty"`
+}
+
+// normalize validates the spec in place, canonicalizing the kind and
+// benchmark key and filling defaults. Errors are user errors (HTTP 400).
+func (spec *JobSpec) normalize() error {
+	spec.Kind = strings.ToLower(strings.TrimSpace(spec.Kind))
+	known := false
+	for _, k := range JobKinds {
+		if spec.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown job kind %q (valid: %s)", spec.Kind, strings.Join(JobKinds, ", "))
+	}
+	if spec.Benchmark == "" {
+		spec.Benchmark = experiments.Benchmarks[4].Key()
+	}
+	b, err := experiments.FindBenchmark(spec.Benchmark)
+	if err != nil {
+		return err
+	}
+	spec.Benchmark = b.Key()
+	for _, nm := range spec.NMSweep {
+		if math.IsNaN(nm) || math.IsInf(nm, 0) {
+			return fmt.Errorf("nm_sweep contains non-finite value %v", nm)
+		}
+	}
+	if math.IsNaN(spec.NA) || math.IsInf(spec.NA, 0) {
+		return fmt.Errorf("na is not finite")
+	}
+	if spec.Kind == KindValidate {
+		if spec.Backend == "" {
+			spec.Backend = "quant-approx"
+		}
+		valid := false
+		for _, be := range experiments.ValidBackends {
+			if spec.Backend == be {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown backend %q (valid: %s)",
+				spec.Backend, strings.Join(experiments.ValidBackends, ", "))
+		}
+		if spec.Bits == 0 {
+			spec.Bits = 8
+		}
+		if spec.Bits > 16 {
+			return fmt.Errorf("bits = %d out of range (1..16)", spec.Bits)
+		}
+	} else if spec.Backend != "" || spec.Bits != 0 {
+		return fmt.Errorf("backend/bits apply only to validate jobs")
+	}
+	return nil
+}
+
+// Artifacts is a finished job's outputs — the same text, CSV and JSON
+// forms the CLI writes for the corresponding command.
+type Artifacts struct {
+	// Text is the rendered result (what the CLI prints to stdout).
+	Text string
+	// CSV is the machine-readable form, when the result has one.
+	CSV []byte
+	// JSON is the design-report JSON, when applicable (methodology jobs).
+	JSON []byte
+}
+
+// artifact file names under a job directory, by ?format= key.
+var artifactFiles = map[string]struct{ name, contentType string }{
+	"text": {"result.txt", "text/plain; charset=utf-8"},
+	"csv":  {"result.csv", "text/csv; charset=utf-8"},
+	"json": {"result.json", "application/json"},
+}
+
+// write persists the artifacts into the job directory.
+func (a Artifacts) write(dir string) error {
+	if err := os.WriteFile(filepath.Join(dir, "result.txt"), []byte(a.Text), 0o644); err != nil {
+		return err
+	}
+	if a.CSV != nil {
+		if err := os.WriteFile(filepath.Join(dir, "result.csv"), a.CSV, 0o644); err != nil {
+			return err
+		}
+	}
+	if a.JSON != nil {
+		if err := os.WriteFile(filepath.Join(dir, "result.json"), a.JSON, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderer / csvWriter mirror the result interfaces the CLI consumes.
+type renderer interface{ Render() string }
+type csvWriter interface{ WriteCSV(io.Writer) error }
+
+// artifactsFor assembles the artifacts of one rendered result.
+func artifactsFor(res renderer) (Artifacts, error) {
+	out := Artifacts{Text: res.Render()}
+	if cw, ok := res.(csvWriter); ok {
+		var buf bytes.Buffer
+		if err := cw.WriteCSV(&buf); err != nil {
+			return Artifacts{}, err
+		}
+		out.CSV = buf.Bytes()
+	}
+	return out, nil
+}
+
+// runSpec executes one job against the real experiment runner. Each job
+// owns a fresh Runner so nothing is shared across concurrent jobs except
+// the weight-cache directory (guarded by the server's train gate) and
+// the process metrics registry; analysis checkpoints are keyed by the
+// job's private directory, so a restarted server resumes this job — and
+// only this job — from its last completed sweep window.
+func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *obs.Obs) (Artifacts, error) {
+	b, err := experiments.FindBenchmark(spec.Benchmark)
+	if err != nil {
+		return Artifacts{}, err
+	}
+	seed := s.cfg.Seed
+	if spec.Seed != nil {
+		seed = *spec.Seed
+	}
+	r := experiments.NewRunner(experiments.Config{
+		Dir:           s.cfg.StateDir,
+		Quick:         s.cfg.Quick,
+		Seed:          seed,
+		Workers:       s.jobWorkers(),
+		Obs:           o,
+		Ctx:           ctx,
+		Checkpoint:    true,
+		CheckpointDir: jobDir,
+		TrainMu:       &s.trainMu,
+	})
+	ov := experiments.Overrides{NMSweep: spec.NMSweep, NA: spec.NA}
+	switch spec.Kind {
+	case KindGroupSweep:
+		res, err := r.GroupSweep(b, ov)
+		if err != nil {
+			return Artifacts{}, err
+		}
+		return artifactsFor(res)
+	case KindLayerSweep:
+		res, err := r.LayerSweep(b, ov)
+		if err != nil {
+			return Artifacts{}, err
+		}
+		return artifactsFor(res)
+	case KindMethodology:
+		d, err := r.Design(b)
+		if err != nil {
+			return Artifacts{}, err
+		}
+		var buf bytes.Buffer
+		if err := d.Report.WriteJSON(&buf); err != nil {
+			return Artifacts{}, err
+		}
+		return Artifacts{Text: d.Render(), JSON: buf.Bytes()}, nil
+	case KindValidate:
+		res, err := r.Validate(b, spec.Backend, spec.Bits)
+		if err != nil {
+			return Artifacts{}, err
+		}
+		return artifactsFor(res)
+	}
+	return Artifacts{}, fmt.Errorf("unknown job kind %q", spec.Kind)
+}

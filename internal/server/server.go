@@ -1,0 +1,278 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// This file is the HTTP surface of the analysis service. The API is
+// deliberately small and JSON-only:
+//
+//	POST   /v1/jobs             submit a JobSpec        → 201 JobStatus
+//	GET    /v1/jobs             list jobs               → 200 [JobStatus]
+//	GET    /v1/jobs/{id}        one job's status        → 200 JobStatus
+//	GET    /v1/jobs/{id}/events NDJSON event stream     → 200 (replay + live)
+//	GET    /v1/jobs/{id}/result artifact (?format=...)  → 200, 409 until done
+//	DELETE /v1/jobs/{id}        cancel                  → 200 JobStatus
+//	GET    /healthz             liveness                → 200, 503 draining
+//	GET    /metricsz            process metrics snapshot
+//
+// Error responses are {"error": "..."} with the usual status mapping:
+// 400 invalid spec, 404 unknown job, 409 result not ready, 429 queue
+// full, 503 draining.
+
+// JobStatus is the wire form of a job's state, shared by every endpoint
+// that returns a job.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Spec     JobSpec   `json:"spec"`
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Ended    time.Time `json:"ended"`
+	Progress string    `json:"progress,omitempty"`
+	ETA      string    `json:"eta,omitempty"`
+}
+
+// statusLocked snapshots a job's status. Callers hold s.mu.
+func statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID: j.id, Spec: j.spec, State: j.state, Error: j.errMsg,
+		Created: j.created, Started: j.started, Ended: j.ended,
+		Progress: j.progress, ETA: j.eta,
+	}
+}
+
+// Status returns one job's status snapshot.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return statusLocked(j), true
+}
+
+// Statuses returns every job's status, in submission (ID) order.
+func (s *Server) Statuses() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.mux.ServeHTTP(w, r)
+}
+
+// serverHandler routes the API onto the manager.
+type serverHandler struct {
+	s   *Server
+	mux *http.ServeMux
+}
+
+// maxSpecBytes bounds the POST /v1/jobs body; a JobSpec is a few hundred
+// bytes at most.
+const maxSpecBytes = 1 << 20
+
+func newHandler(s *Server) *serverHandler {
+	h := &serverHandler{s: s, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/jobs", h.submit)
+	h.mux.HandleFunc("GET /v1/jobs", h.list)
+	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
+	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.HandleFunc("GET /metricsz", h.metricsz)
+	return h
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (h *serverHandler) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	j, err := h.s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st, _ := h.s.Status(j.id)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (h *serverHandler) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.s.Statuses())
+}
+
+func (h *serverHandler) status(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := h.s.Status(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// events streams a job's telemetry as NDJSON: first the retained
+// history, then live events as they happen, ending when the job reaches
+// a terminal state (its sink closes) or the client disconnects. The
+// SubSink guarantees the replay/live seam is gapless and duplicate-free.
+func (h *serverHandler) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := h.s.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	sub := j.events.Subscribe(256)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	emit := func(line []byte) bool {
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	for _, e := range sub.Replay {
+		if !emit(encodeEvent(e)) {
+			return
+		}
+	}
+	for {
+		select {
+		case e, live := <-sub.C:
+			if !live {
+				return
+			}
+			if !emit(encodeEvent(e)) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// result serves a finished job's artifact. ?format= selects text
+// (default), csv or json; formats the job kind does not produce yield
+// 404. Until the job reaches a terminal state the endpoint answers 409
+// so pollers can distinguish "not yet" from "never".
+func (h *serverHandler) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := h.s.Status(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch st.State {
+	case StateDone:
+	case StateFailed:
+		writeErr(w, http.StatusConflict, "job %s failed: %s", id, st.Error)
+		return
+	case StateCancelled:
+		writeErr(w, http.StatusConflict, "job %s was cancelled", id)
+		return
+	default:
+		writeErr(w, http.StatusConflict, "job %s is %s; result not ready", id, st.State)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	af, ok := artifactFiles[format]
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown format %q (valid: text, csv, json)", format)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(h.s.jobsRoot(), id, af.name))
+	if errors.Is(err, os.ErrNotExist) {
+		writeErr(w, http.StatusNotFound, "job %s has no %s artifact", id, format)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", af.contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(data) //nolint:errcheck // client gone; nothing to do
+}
+
+func (h *serverHandler) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !h.s.Cancel(id) {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	st, _ := h.s.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *serverHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *serverHandler) metricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	h.s.obs.Metrics().Snapshot().WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+}
