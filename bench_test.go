@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"redcane/internal/approx"
+	"redcane/internal/axe"
 	"redcane/internal/caps"
 	"redcane/internal/core"
 	"redcane/internal/datasets"
@@ -270,6 +271,44 @@ func BenchmarkConv2DKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Conv2D(x, w, bias, 1, 1)
+	}
+}
+
+// BenchmarkQuantConv2DExact measures the bit-exact quantized conv kernel
+// (code-domain integer GEMM, exact multiplier) on the same shape as
+// BenchmarkConv2DKernel.
+func BenchmarkQuantConv2DExact(b *testing.B) {
+	x := tensor.New(8, 16, 16, 16).FillNormal(tensor.NewRNG(1), 0, 1)
+	w := tensor.New(32, 16, 3, 3).FillNormal(tensor.NewRNG(2), 0, 1)
+	bias := tensor.New(32)
+	be := axe.QuantExact{Bits: 8}
+	s := tensor.NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Release(be.Conv2D("L", x, w, bias, 1, 1, s))
+	}
+}
+
+// BenchmarkQuantConv2DLUT is the approximate-multiplier variant: the same
+// integer GEMM with every product through a compiled 8-bit LUT.
+func BenchmarkQuantConv2DLUT(b *testing.B) {
+	x := tensor.New(8, 16, 16, 16).FillNormal(tensor.NewRNG(1), 0, 1)
+	w := tensor.New(32, 16, 3, 3).FillNormal(tensor.NewRNG(2), 0, 1)
+	bias := tensor.New(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axe.QuantConv2D(x, w, bias, 1, 1, approx.BrokenCarry{Depth: 6, Compensate: true}, 8)
+	}
+}
+
+// BenchmarkQuantCapsVotes measures the quantized fully-connected capsule
+// vote kernel on the BenchmarkDynamicRoutingKernel layer shape.
+func BenchmarkQuantCapsVotes(b *testing.B) {
+	u := tensor.New(8, 64, 8).FillNormal(tensor.NewRNG(4), 0, 0.3)
+	w := tensor.New(64, 10, 16, 8).FillGlorot(tensor.NewRNG(3), 8, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axe.QuantClassCapsVotes(u, w, approx.BrokenCarry{Depth: 6, Compensate: true}, 8)
 	}
 }
 

@@ -52,12 +52,40 @@ func quantizeCodes(t *tensor.Tensor, bits uint, s *tensor.Scratch) (fixed.Quanti
 	return q, codes
 }
 
+// quantGEMMMaxCols caps the size (in uint16 elements) of the code-domain
+// im2col matrix the quantized conv materializes; convolutions whose
+// matrix would be larger stream one patch row at a time instead. A
+// package variable so tests can force the streaming path. Both paths
+// compute identical integer sums, so the cutoff never changes results.
+var quantGEMMMaxCols = 1 << 22
+
+// convWindow holds the hoisted per-(oy,ox) border quantities for one
+// distinct valid-tap window [kyLo,kyHi)×[kxLo,kxHi): the per-channel
+// valid weight-code sums, the per-channel correction for zero-code
+// padded products (nonzero only for multipliers with mul(0,c) ≠ 0), and
+// the valid tap count. There are at most (KH+1)·(KW+1) distinct windows
+// per convolution, so each is computed once instead of re-walking the
+// kernel per (oc, oy, ox) as the pre-GEMM kernel did.
+type convWindow struct {
+	wsum  []int64 // per-oc Σ wq over the valid window
+	m0    []int64 // per-oc Σ mul(0, wq) over the *padded* complement
+	valid int64
+}
+
 // quantConv2D convolves x [n, inCh, h, w] with kernels w [outCh, inCh,
 // k, k] using b-bit affine-quantized operands and m for every partial
 // product, accumulating exactly. Bias (may be nil) is added in float.
 // Both quantizers are calibrated per call on the full tensors, the same
 // per-array ranging the paper's noise model uses. The output may come
 // from the scratch arena; callers release it.
+//
+// The kernel is a code-domain integer GEMM: operand codes are gathered
+// once into a uint16 im2col matrix (padding as code 0), each patch row's
+// Σ x-codes is computed once for all output channels, and the per-product
+// multiplier runs over flat contiguous rows. Zero-point cross terms use
+// the hoisted convWindow tables on border positions; interior positions
+// never test padding. Integer accumulation is order-free, so this is
+// exact-equal to the naive reference (axe_ref.go) by construction.
 func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits uint, s *tensor.Scratch) *tensor.Tensor {
 	qx, xq := quantizeCodes(x, bits, s)
 	qw, wq := quantizeCodes(w, bits, s)
@@ -69,81 +97,197 @@ func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits
 	n, h, wd := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := spec.OutSize(h, wd)
 
-	// Zero-point handling: value = min + step·code. The cross terms need
-	// Σcode_x and Σcode_w per output; padding contributes code 0 but
-	// *value* 0, so pad positions are skipped entirely.
 	k := spec.KH * spec.KW
 	patch := spec.InCh * k
 	out := s.Take(n, spec.OutCh, oh, ow)
+	rows := oh * ow
+
+	// Whole-kernel per-oc sums: Σ wq and Σ mul(0, wq).
 	sumWq := make([]int64, spec.OutCh)
+	sumM0 := make([]int64, spec.OutCh)
 	for oc := 0; oc < spec.OutCh; oc++ {
-		sum := int64(0)
-		for i := 0; i < patch; i++ {
-			sum += int64(wq[oc*patch+i])
+		wrow := wq[oc*patch : (oc+1)*patch]
+		var sw, s0 int64
+		for _, c := range wrow {
+			sw += int64(c)
+			s0 += int64(m.mul(0, c))
 		}
-		sumWq[oc] = sum
+		sumWq[oc] = sw
+		sumM0[oc] = s0
+	}
+	interior := &convWindow{wsum: sumWq, valid: int64(patch)}
+
+	// Valid-tap ranges per output row/column and the lazily-built window
+	// table for border positions.
+	kyLo := make([]int, oh)
+	kyHi := make([]int, oh)
+	for oy := 0; oy < oh; oy++ {
+		kyLo[oy], kyHi[oy] = clampTap(oy, stride, pad, spec.KH, h)
+	}
+	kxLo := make([]int, ow)
+	kxHi := make([]int, ow)
+	for ox := 0; ox < ow; ox++ {
+		kxLo[ox], kxHi[ox] = clampTap(ox, stride, pad, spec.KW, wd)
+	}
+	windows := map[int]*convWindow{}
+	winFor := func(yLo, yHi, xLo, xHi int) *convWindow {
+		if yLo == 0 && yHi == spec.KH && xLo == 0 && xHi == spec.KW {
+			return interior
+		}
+		key := ((yLo*(spec.KH+1)+yHi)*(spec.KW+1)+xLo)*(spec.KW+1) + xHi
+		if bw, ok := windows[key]; ok {
+			return bw
+		}
+		bw := &convWindow{
+			wsum:  make([]int64, spec.OutCh),
+			m0:    make([]int64, spec.OutCh),
+			valid: int64(spec.InCh * (yHi - yLo) * (xHi - xLo)),
+		}
+		for oc := 0; oc < spec.OutCh; oc++ {
+			var sw, s0 int64
+			for ci := 0; ci < spec.InCh; ci++ {
+				for ky := yLo; ky < yHi; ky++ {
+					base := oc*patch + (ci*spec.KH+ky)*spec.KW
+					for kx := xLo; kx < xHi; kx++ {
+						c := wq[base+kx]
+						sw += int64(c)
+						s0 += int64(m.mul(0, c))
+					}
+				}
+			}
+			bw.wsum[oc] = sw
+			// Padded complement: zero-code products the flat GEMM row
+			// accumulated that the reference never sees.
+			bw.m0[oc] = sumM0[oc] - s0
+		}
+		windows[key] = bw
+		return bw
 	}
 
 	sx, mx := qx.Step(), qx.Min
 	sw, mw := qw.Step(), qw.Min
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				// Gather the patch codes (and track valid positions).
-				for oc := 0; oc < spec.OutCh; oc++ {
-					var lutSum, xSum int64
-					var pads int
-					wBase := oc * patch
-					for ci := 0; ci < spec.InCh; ci++ {
-						for ky := 0; ky < spec.KH; ky++ {
-							iy := oy*stride + ky - pad
-							for kx := 0; kx < spec.KW; kx++ {
-								ix := ox*stride + kx - pad
-								widx := wBase + (ci*spec.KH+ky)*spec.KW + kx
-								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
-									pads++
-									// A zero *value* operand: x=0 exactly.
-									// Contribution is 0·w = 0; skip.
-									continue
-								}
-								xc := xq[((b*spec.InCh+ci)*h+iy)*wd+ix]
-								lutSum += int64(m.mul(xc, wq[widx]))
-								xSum += int64(xc)
-							}
-						}
-					}
-					// Valid-w sum: subtract the padded weights' codes.
-					validWq := sumWq[oc]
-					if pads > 0 {
-						validWq = 0
-						for ci := 0; ci < spec.InCh; ci++ {
-							for ky := 0; ky < spec.KH; ky++ {
-								iy := oy*stride + ky - pad
-								for kx := 0; kx < spec.KW; kx++ {
-									ix := ox*stride + kx - pad
-									if iy < 0 || iy >= h || ix < 0 || ix >= wd {
-										continue
-									}
-									validWq += int64(wq[wBase+(ci*spec.KH+ky)*spec.KW+kx])
-								}
-							}
-						}
-					}
-					valid := int64(patch - pads)
-					acc := sx*sw*float64(lutSum) +
-						sx*mw*float64(xSum) +
-						sw*mx*float64(validWq) +
-						mx*mw*float64(valid)
-					if bias != nil {
-						acc += bias.Data[oc]
-					}
-					out.Data[((b*spec.OutCh+oc)*oh+oy)*ow+ox] = acc
+	var biasData []float64
+	if bias != nil {
+		biasData = bias.Data
+	}
+
+	if n*rows*patch <= quantGEMMMaxCols {
+		// Materialize the code im2col matrix once (padding = code 0).
+		xcols := s.TakeU16(n * rows * patch)
+		r := 0
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gatherCodeRow(xcols[r*patch:(r+1)*patch], xq, b, oy, ox, h, wd, spec)
+					r++
 				}
 			}
 		}
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := xcols[((b*oh+oy)*ow+ox)*patch:]
+					row = row[:patch:patch]
+					win := winFor(kyLo[oy], kyHi[oy], kxLo[ox], kxHi[ox])
+					quantAccRow(m, row, wq, win, sx, mx, sw, mw, biasData,
+						out.Data[b*spec.OutCh*rows+oy*ow+ox:], rows)
+				}
+			}
+		}
+		s.ReleaseU16(xcols)
+	} else {
+		// Streaming fallback: gather one patch row at a time. Same
+		// integer sums, same hoisted border tables.
+		rowBuf := s.TakeU16(patch)
+		row := rowBuf[:patch:patch]
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gatherCodeRow(row, xq, b, oy, ox, h, wd, spec)
+					win := winFor(kyLo[oy], kyHi[oy], kxLo[ox], kxHi[ox])
+					quantAccRow(m, row, wq, win, sx, mx, sw, mw, biasData,
+						out.Data[b*spec.OutCh*rows+oy*ow+ox:], rows)
+				}
+			}
+		}
+		s.ReleaseU16(rowBuf)
 	}
 	s.ReleaseU16(xq, wq)
 	return out
+}
+
+// clampTap returns the in-bounds tap range [lo, hi) for output index o:
+// taps t with 0 ≤ o*stride + t - pad < size.
+func clampTap(o, stride, pad, k, size int) (lo, hi int) {
+	lo, hi = pad-o*stride, size+pad-o*stride
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > k {
+		hi = k
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// gatherCodeRow writes the patch's operand codes for output position
+// (b, oy, ox) into dst, with code 0 at padded taps.
+func gatherCodeRow(dst []uint16, xq []uint16, b, oy, ox, h, wd int, spec tensor.ConvSpec) {
+	i := 0
+	for ci := 0; ci < spec.InCh; ci++ {
+		chBase := (b*spec.InCh + ci) * h * wd
+		for ky := 0; ky < spec.KH; ky++ {
+			iy := oy*spec.Stride + ky - spec.Pad
+			if iy < 0 || iy >= h {
+				for kx := 0; kx < spec.KW; kx++ {
+					dst[i] = 0
+					i++
+				}
+				continue
+			}
+			rowBase := chBase + iy*wd
+			for kx := 0; kx < spec.KW; kx++ {
+				ix := ox*spec.Stride + kx - spec.Pad
+				if ix < 0 || ix >= wd {
+					dst[i] = 0
+				} else {
+					dst[i] = xq[rowBase+ix]
+				}
+				i++
+			}
+		}
+	}
+}
+
+// quantAccRow accumulates one patch row against every output channel:
+// the flat code-domain dot through m, the hoisted zero-point cross
+// terms, and the float epilogue. dst[oc*dstStride] receives channel oc.
+func quantAccRow[M macMul](m M, row, wq []uint16, win *convWindow, sx, mx, sw, mw float64, bias []float64, dst []float64, dstStride int) {
+	var xSum int64
+	for _, xc := range row {
+		xSum += int64(xc)
+	}
+	patch := len(row)
+	for oc := range win.wsum {
+		wrow := wq[oc*patch : (oc+1)*patch : (oc+1)*patch]
+		var lutSum int64
+		for i, xc := range row {
+			lutSum += int64(m.mul(xc, wrow[i]))
+		}
+		if win.m0 != nil {
+			lutSum -= win.m0[oc]
+		}
+		acc := sx*sw*float64(lutSum) +
+			sx*mw*float64(xSum) +
+			sw*mx*float64(win.wsum[oc]) +
+			mx*mw*float64(win.valid)
+		if bias != nil {
+			acc += bias[oc]
+		}
+		dst[oc*dstStride] = acc
+	}
 }
 
 // QuantConv2D convolves with b-bit quantized operands and the given

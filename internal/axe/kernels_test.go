@@ -1,0 +1,104 @@
+package axe
+
+import (
+	"testing"
+
+	"redcane/internal/approx"
+	"redcane/internal/tensor"
+)
+
+// weirdMul is a deliberately hostile multiplier: mul(0, c) ≠ 0, so the
+// code-domain GEMM's padded zero-code products are wrong unless the
+// hoisted border correction subtracts them. Only tests use it; real
+// approximate multipliers may also violate mul(0, c) = 0.
+type weirdMul struct{}
+
+func (weirdMul) mul(a, b uint16) uint32 { return uint32(a)*uint32(b) + uint32(b&7) + 3 }
+
+func requireSameBits(t *testing.T, what string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v vs %v", what, got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (bitwise)", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// checkQuantConv runs the optimized kernel against the naive reference
+// for one multiplier over a spread of conv shapes, on both the im2col
+// GEMM path and the forced streaming fallback, with and without scratch.
+func checkQuantConv[M macMul](t *testing.T, name string, m M, bits uint) {
+	t.Helper()
+	cases := []struct {
+		n, c, h, w, oc, k, stride, pad int
+	}{
+		{1, 1, 5, 5, 1, 3, 1, 0},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 2, 9, 9, 3, 9, 1, 0},
+		{2, 4, 8, 8, 6, 3, 2, 1},
+		{1, 1, 4, 4, 2, 1, 1, 0},
+		{3, 2, 7, 5, 5, 3, 2, 2},
+	}
+	for i, tc := range cases {
+		x := randT(uint64(i+1), tc.n, tc.c, tc.h, tc.w)
+		w := randT(uint64(i+100), tc.oc, tc.c, tc.k, tc.k)
+		bias := randT(uint64(i+200), tc.oc)
+		for _, b := range []*tensor.Tensor{bias, nil} {
+			ref := quantConv2DRef(m, x, w, b, tc.stride, tc.pad, bits)
+			requireSameBits(t, name+" gemm", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, nil), ref)
+
+			s := tensor.NewScratch()
+			got := quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, s)
+			requireSameBits(t, name+" gemm scratch", got, ref)
+			s.Release(got)
+			requireSameBits(t, name+" gemm scratch reuse", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, s), ref)
+
+			old := quantGEMMMaxCols
+			quantGEMMMaxCols = 0 // force the streaming fallback
+			requireSameBits(t, name+" stream", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, nil), ref)
+			quantGEMMMaxCols = old
+		}
+	}
+}
+
+func TestQuantConv2DBitwiseVsRefExact(t *testing.T) { checkQuantConv(t, "exact", exactMul{}, 8) }
+
+func TestQuantConv2DBitwiseVsRefExact12Bit(t *testing.T) {
+	checkQuantConv(t, "exact12", exactMul{}, 12)
+}
+
+func TestQuantConv2DBitwiseVsRefLUT(t *testing.T) {
+	lut := approx.CompileLUT(approx.BrokenCarry{Depth: 6, Compensate: true})
+	checkQuantConv(t, "lut", lutMul{lut}, 8)
+}
+
+func TestQuantConv2DBitwiseVsRefWeirdMul(t *testing.T) {
+	// mul(0, c) ≠ 0: the padded-zero correction must be exact.
+	checkQuantConv(t, "weird", weirdMul{}, 8)
+}
+
+func TestQuantCapsVotesBitwiseVsRef(t *testing.T) {
+	u := randT(31, 3, 18, 8)
+	w := randT(32, 18, 10, 16, 8)
+	for _, tc := range []struct {
+		name string
+		run  func() (*tensor.Tensor, *tensor.Tensor)
+	}{
+		{"exact", func() (*tensor.Tensor, *tensor.Tensor) {
+			return quantCapsVotes(exactMul{}, u, w, 8, nil), quantCapsVotesRef(exactMul{}, u, w, 8)
+		}},
+		{"lut", func() (*tensor.Tensor, *tensor.Tensor) {
+			m := lutMul{approx.CompileLUT(approx.BrokenCarry{Depth: 4})}
+			return quantCapsVotes(m, u, w, 8, nil), quantCapsVotesRef(m, u, w, 8)
+		}},
+		{"weird", func() (*tensor.Tensor, *tensor.Tensor) {
+			return quantCapsVotes(weirdMul{}, u, w, 8, nil), quantCapsVotesRef(weirdMul{}, u, w, 8)
+		}},
+	} {
+		got, want := tc.run()
+		requireSameBits(t, "votes "+tc.name, got, want)
+	}
+}

@@ -12,6 +12,11 @@ import (
 // product, mirroring caps.ClassCaps' float vote stage. u is [n, inCaps,
 // inDim]; w is [inCaps, outCaps, outDim, inDim]. The output may come
 // from the scratch arena; callers release it.
+//
+// The per-(i,j,d) weight-code sums are batch-independent, so they are
+// computed once up front instead of inside the innermost loop (the
+// reference in axe_ref.go re-derives them per vote); integer sums are
+// order-free, so results match the reference exactly.
 func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scratch) *tensor.Tensor {
 	qu, uc := quantizeCodes(u, bits, s)
 	qw, wc := quantizeCodes(w, bits, s)
@@ -19,30 +24,40 @@ func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scr
 	n, inCaps, inDim := u.Shape[0], u.Shape[1], u.Shape[2]
 	outCaps, outDim := w.Shape[1], w.Shape[2]
 
+	wRows := inCaps * outCaps * outDim
+	sumW := make([]int64, wRows)
+	for r := 0; r < wRows; r++ {
+		row := wc[r*inDim : (r+1)*inDim]
+		var sw int64
+		for _, c := range row {
+			sw += int64(c)
+		}
+		sumW[r] = sw
+	}
+
 	su, mu := qu.Step(), qu.Min
 	sw, mw := qw.Step(), qw.Min
 	votes := s.Take(n, inCaps, outCaps, outDim, 1)
 	for b := 0; b < n; b++ {
 		for i := 0; i < inCaps; i++ {
-			ubase := (b*inCaps + i) * inDim
+			urow := uc[(b*inCaps+i)*inDim : (b*inCaps+i+1)*inDim : (b*inCaps+i+1)*inDim]
 			var sumU int64
-			for e := 0; e < inDim; e++ {
-				sumU += int64(uc[ubase+e])
+			for _, c := range urow {
+				sumU += int64(c)
 			}
-			for j := 0; j < outCaps; j++ {
-				for d := 0; d < outDim; d++ {
-					wbase := ((i*outCaps+j)*outDim + d) * inDim
-					var lutSum, sumW int64
-					for e := 0; e < inDim; e++ {
-						lutSum += int64(m.mul(uc[ubase+e], wc[wbase+e]))
-						sumW += int64(wc[wbase+e])
-					}
-					acc := su*sw*float64(lutSum) +
-						su*mw*float64(sumU) +
-						sw*mu*float64(sumW) +
-						mu*mw*float64(inDim)
-					votes.Data[((b*inCaps+i)*outCaps+j)*outDim+d] = acc
+			wr := i * outCaps * outDim
+			dst := votes.Data[(b*inCaps+i)*outCaps*outDim:]
+			for jd := 0; jd < outCaps*outDim; jd++ {
+				wrow := wc[(wr+jd)*inDim : (wr+jd+1)*inDim : (wr+jd+1)*inDim]
+				var lutSum int64
+				for e, xc := range urow {
+					lutSum += int64(m.mul(xc, wrow[e]))
 				}
+				acc := su*sw*float64(lutSum) +
+					su*mw*float64(sumU) +
+					sw*mu*float64(sumW[wr+jd]) +
+					mu*mw*float64(inDim)
+				dst[jd] = acc
 			}
 		}
 	}

@@ -58,26 +58,19 @@ func (Float) Conv2D(_ string, x, w, bias *tensor.Tensor, stride, pad int, s *ten
 	return tensor.Conv2DScratch(x, w, bias, stride, pad, s)
 }
 
-// CapsVotes implements Backend with the exact inner-product loop.
+// CapsVotes implements Backend. For one input capsule, the outCaps·outDim
+// weight rows are contiguous with stride inDim, which is exactly the
+// MatVecT shape — the vote stage rides the shared-load dot tile.
 func (Float) CapsVotes(_ string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
 	n, inCaps, inDim := u.Shape[0], u.Shape[1], u.Shape[2]
 	outCaps, outDim := w.Shape[1], w.Shape[2]
 	votes := s.Take(n, inCaps, outCaps, outDim, 1)
+	rows := outCaps * outDim
 	for b := 0; b < n; b++ {
 		for i := 0; i < inCaps; i++ {
 			ui := u.Data[(b*inCaps+i)*inDim : (b*inCaps+i+1)*inDim]
-			for j := 0; j < outCaps; j++ {
-				wij := w.Data[((i*outCaps+j)*outDim)*inDim:]
-				base := ((b*inCaps+i)*outCaps + j) * outDim
-				for d := 0; d < outDim; d++ {
-					acc := 0.0
-					row := wij[d*inDim : (d+1)*inDim]
-					for e, uv := range ui {
-						acc += row[e] * uv
-					}
-					votes.Data[base+d] = acc
-				}
-			}
+			dst := votes.Data[(b*inCaps+i)*rows : (b*inCaps+i+1)*rows]
+			tensor.MatVecT(dst, ui, w.Data[i*rows*inDim:], inDim)
 		}
 	}
 	return votes

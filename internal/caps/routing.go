@@ -232,12 +232,15 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 		for b := 0; b < n; b++ {
 			for i := 0; i < inCaps; i++ {
 				for j := 0; j < outCaps; j++ {
-					kRow := k.Data[((b*inCaps+i)*outCaps+j)*pos:]
+					kOff := ((b*inCaps+i)*outCaps + j) * pos
+					kRow := k.Data[kOff : kOff+pos : kOff+pos]
 					for d := 0; d < outDim; d++ {
-						vRow := votes.Data[(((b*inCaps+i)*outCaps+j)*outDim+d)*pos:]
-						sRow := s.Data[((b*outCaps+j)*outDim+d)*pos:]
-						for p := 0; p < pos; p++ {
-							sRow[p] += kRow[p] * vRow[p]
+						vOff := ((((b*inCaps+i)*outCaps+j)*outDim + d) * pos)
+						vRow := votes.Data[vOff : vOff+pos : vOff+pos]
+						sOff := ((b*outCaps+j)*outDim + d) * pos
+						sRow := s.Data[sOff : sOff+pos : sOff+pos]
+						for p, kv := range kRow {
+							sRow[p] += kv * vRow[p]
 						}
 					}
 				}
@@ -257,12 +260,15 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 		for b := 0; b < n; b++ {
 			for i := 0; i < inCaps; i++ {
 				for j := 0; j < outCaps; j++ {
-					lRow := logits.Data[((b*inCaps+i)*outCaps+j)*pos:]
+					lOff := ((b*inCaps+i)*outCaps + j) * pos
+					lRow := logits.Data[lOff : lOff+pos : lOff+pos]
 					for d := 0; d < outDim; d++ {
-						uRow := votes.Data[(((b*inCaps+i)*outCaps+j)*outDim+d)*pos:]
-						vRow := v.Data[((b*outCaps+j)*outDim+d)*pos:]
-						for p := 0; p < pos; p++ {
-							lRow[p] += uRow[p] * vRow[p]
+						uOff := ((((b*inCaps+i)*outCaps+j)*outDim + d) * pos)
+						uRow := votes.Data[uOff : uOff+pos : uOff+pos]
+						vOff := ((b*outCaps+j)*outDim + d) * pos
+						vRow := v.Data[vOff : vOff+pos : vOff+pos]
+						for p, uv := range uRow {
+							lRow[p] += uv * vRow[p]
 						}
 					}
 				}

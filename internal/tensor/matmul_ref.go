@@ -1,0 +1,70 @@
+package tensor
+
+// Naive reference implementations of the matmul kernels, retained as the
+// oracles the optimized paths are tested against (bitwise, not within a
+// tolerance). They define the canonical summation order:
+//
+//   - DotRef: four accumulator lanes by index mod 4, combined as
+//     (l0+l1)+(l2+l3). The blocked scalar and AVX kernels keep exactly
+//     this order, so equality is exact.
+//   - MatMulRef/MatMulATRef: output elements accumulate over the inner
+//     dimension in ascending order. The optimized paths skip inner terms
+//     whose a-coefficient is exactly zero; such a term contributes ±0,
+//     and an accumulator that starts at +0 can never become -0 under
+//     round-to-nearest (x + (-x) = +0), so adding or skipping it leaves
+//     every finite result bit-identical.
+
+// DotRef is the readable form of the canonical 4-lane dot product.
+func DotRef(a, b []float64) float64 {
+	var lanes [4]float64
+	for p := range a {
+		lanes[p&3] += a[p] * b[p]
+	}
+	return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+// MatMulRef is the naive triple loop for a [M, K] · b [K, N].
+func MatMulRef(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTRef is the naive a [M, K] · bᵀ for b [N, K], one DotRef per
+// output element.
+func MatMulTRef(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = DotRef(a.Data[i*k:(i+1)*k], b.Data[j*k:(j+1)*k])
+		}
+	}
+	return out
+}
+
+// MatMulATRef is the naive aᵀ [K, M] · b [K, N].
+func MatMulATRef(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[p*m+i]
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+#include "textflag.h"
+
+// AVX kernels for the float64 hot paths. Every kernel reproduces the
+// scalar reference summation order bit-for-bit: vector lanes map to the
+// canonical (index mod 4) accumulator lanes of dot4, and the fused conv
+// taps use plain VMULPD/VADDPD (never FMA, which would change rounding).
+
+// func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gemm8LanesAVX(a *float64, w *float64, wStride, k4 int, lanes *[32]float64)
+//
+// Eight dot products of one a row against w rows 0..7 (row j starts at
+// w + j*wStride elements), sharing every a load. Each product keeps the
+// four dot4 accumulator lanes (index mod 4); lanes[j*4+l] receives dot
+// j's lane l. k4 must be a multiple of 4 (0 is fine). The eight
+// independent VADDPD chains hide the add latency that bounds a single
+// accumulator.
+TEXT ·gemm8LanesAVX(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ w+8(FP), AX
+	MOVQ wStride+16(FP), DX
+	MOVQ k4+24(FP), CX
+	MOVQ lanes+32(FP), DI
+	SHLQ $3, DX              // element stride -> byte stride
+	MOVQ AX, R8
+	LEAQ (AX)(DX*1), R9
+	LEAQ (R9)(DX*1), R10
+	LEAQ (R10)(DX*1), R11
+	LEAQ (R11)(DX*1), R12
+	LEAQ (R12)(DX*1), R13
+	LEAQ (R13)(DX*1), R14
+	LEAQ (R14)(DX*1), R15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ BX, BX
+	CMPQ CX, $0
+	JE g8done
+g8loop:
+	VMOVUPD (SI)(BX*8), Y8
+	VMOVUPD (R8)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y0, Y0
+	VMOVUPD (R9)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y1, Y1
+	VMOVUPD (R10)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y2, Y2
+	VMOVUPD (R11)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y3, Y3
+	VMOVUPD (R12)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y4, Y4
+	VMOVUPD (R13)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y5, Y5
+	VMOVUPD (R14)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y6, Y6
+	VMOVUPD (R15)(BX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y7, Y7
+	ADDQ $4, BX
+	CMPQ BX, CX
+	JLT g8loop
+g8done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VMOVUPD Y4, 128(DI)
+	VMOVUPD Y5, 160(DI)
+	VMOVUPD Y6, 192(DI)
+	VMOVUPD Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func fused3RowsAVX(dst, x *float64, rows, n int, dstStride, xStride int, w0, w1, w2 float64)
+//
+// For each of rows rows: dst[i] += ((x[i]*w0 + x[i+1]*w1) + x[i+2]*w2)
+// for i in [0, n) — one (ci, ky) tap triple of a stride-1 3×3 direct
+// convolution over a block of output rows. Strides are in elements. The
+// n%4 tail runs on the VEX scalar ops so the arithmetic (and hence the
+// bits) match the vector body exactly.
+TEXT ·fused3RowsAVX(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ rows+16(FP), R8
+	MOVQ n+24(FP), R9
+	MOVQ dstStride+32(FP), R10
+	MOVQ xStride+40(FP), R11
+	SHLQ $3, R10             // element strides -> byte strides
+	SHLQ $3, R11
+	VBROADCASTSD w0+48(FP), Y4
+	VBROADCASTSD w1+56(FP), Y5
+	VBROADCASTSD w2+64(FP), Y6
+	MOVQ R9, R12
+	ANDQ $-4, R12            // vector count
+rowloop:
+	XORQ BX, BX
+	CMPQ R12, $0
+	JE tail
+vecloop:
+	VMOVUPD (SI)(BX*8), Y0
+	VMOVUPD 8(SI)(BX*8), Y1
+	VMOVUPD 16(SI)(BX*8), Y2
+	VMULPD Y4, Y0, Y0
+	VMULPD Y5, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	VMULPD Y6, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VMOVUPD (DI)(BX*8), Y3
+	VADDPD Y0, Y3, Y3
+	VMOVUPD Y3, (DI)(BX*8)
+	ADDQ $4, BX
+	CMPQ BX, R12
+	JLT vecloop
+tail:
+	CMPQ BX, R9
+	JGE nextrow
+	VMOVSD (SI)(BX*8), X0
+	VMOVSD 8(SI)(BX*8), X1
+	VMOVSD 16(SI)(BX*8), X2
+	VMULSD X4, X0, X0
+	VMULSD X5, X1, X1
+	VADDSD X1, X0, X0
+	VMULSD X6, X2, X2
+	VADDSD X2, X0, X0
+	VMOVSD (DI)(BX*8), X3
+	VADDSD X0, X3, X3
+	VMOVSD X3, (DI)(BX*8)
+	INCQ BX
+	JMP tail
+nextrow:
+	ADDQ R10, DI
+	ADDQ R11, SI
+	DECQ R8
+	JNZ rowloop
+	VZEROUPPER
+	RET
+
+// func fused3Rows2AVX(dst0, dst1, x *float64, rows, n int, dstStride, xStride int, u0, u1, u2, v0, v1, v2 float64)
+//
+// Two-output-channel variant of fused3RowsAVX: dst0 gets taps (u0,u1,u2)
+// and dst1 gets (v0,v1,v2), sharing the three x loads per step — the
+// direct-conv workhorse (halves input bandwidth vs two single-plane
+// passes).
+TEXT ·fused3Rows2AVX(SB), NOSPLIT, $0-104
+	MOVQ dst0+0(FP), DI
+	MOVQ dst1+8(FP), R13
+	MOVQ x+16(FP), SI
+	MOVQ rows+24(FP), R8
+	MOVQ n+32(FP), R9
+	MOVQ dstStride+40(FP), R10
+	MOVQ xStride+48(FP), R11
+	SHLQ $3, R10
+	SHLQ $3, R11
+	VBROADCASTSD u0+56(FP), Y10
+	VBROADCASTSD u1+64(FP), Y11
+	VBROADCASTSD u2+72(FP), Y12
+	VBROADCASTSD v0+80(FP), Y13
+	VBROADCASTSD v1+88(FP), Y14
+	VBROADCASTSD v2+96(FP), Y15
+	MOVQ R9, R12
+	ANDQ $-4, R12
+f2rowloop:
+	XORQ BX, BX
+	CMPQ R12, $0
+	JE f2tail
+f2vecloop:
+	VMOVUPD (SI)(BX*8), Y0
+	VMOVUPD 8(SI)(BX*8), Y1
+	VMOVUPD 16(SI)(BX*8), Y2
+	VMULPD Y10, Y0, Y3
+	VMULPD Y11, Y1, Y5
+	VADDPD Y5, Y3, Y3
+	VMULPD Y12, Y2, Y5
+	VADDPD Y5, Y3, Y3
+	VMOVUPD (DI)(BX*8), Y5
+	VADDPD Y3, Y5, Y5
+	VMOVUPD Y5, (DI)(BX*8)
+	VMULPD Y13, Y0, Y4
+	VMULPD Y14, Y1, Y5
+	VADDPD Y5, Y4, Y4
+	VMULPD Y15, Y2, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD (R13)(BX*8), Y5
+	VADDPD Y4, Y5, Y5
+	VMOVUPD Y5, (R13)(BX*8)
+	ADDQ $4, BX
+	CMPQ BX, R12
+	JLT f2vecloop
+f2tail:
+	CMPQ BX, R9
+	JGE f2nextrow
+	VMOVSD (SI)(BX*8), X0
+	VMOVSD 8(SI)(BX*8), X1
+	VMOVSD 16(SI)(BX*8), X2
+	VMULSD X10, X0, X3
+	VMULSD X11, X1, X5
+	VADDSD X5, X3, X3
+	VMULSD X12, X2, X5
+	VADDSD X5, X3, X3
+	VMOVSD (DI)(BX*8), X5
+	VADDSD X3, X5, X5
+	VMOVSD X5, (DI)(BX*8)
+	VMULSD X13, X0, X4
+	VMULSD X14, X1, X5
+	VADDSD X5, X4, X4
+	VMULSD X15, X2, X5
+	VADDSD X5, X4, X4
+	VMOVSD (R13)(BX*8), X5
+	VADDSD X4, X5, X5
+	VMOVSD X5, (R13)(BX*8)
+	INCQ BX
+	JMP f2tail
+f2nextrow:
+	ADDQ R10, DI
+	ADDQ R10, R13
+	ADDQ R11, SI
+	DECQ R8
+	JNZ f2rowloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the scalar kernel paths, which define the
+// canonical summation order the AVX kernels reproduce bit-for-bit.
+var useAVX = false
+
+func gemm8LanesAVX(a, w *float64, wStride, k4 int, lanes *[32]float64) {
+	panic("tensor: gemm8LanesAVX without AVX support")
+}
+
+func fused3RowsAVX(dst, x *float64, rows, n int, dstStride, xStride int, w0, w1, w2 float64) {
+	panic("tensor: fused3RowsAVX without AVX support")
+}
+
+func fused3Rows2AVX(dst0, dst1, x *float64, rows, n int, dstStride, xStride int, u0, u1, u2, v0, v1, v2 float64) {
+	panic("tensor: fused3Rows2AVX without AVX support")
+}

@@ -48,7 +48,19 @@ type Conv2D struct {
 	Pad       int
 	ReLU      bool
 
-	x, pre *tensor.Tensor // caches
+	x, pre  *tensor.Tensor  // caches
+	scratch *tensor.Scratch // recycles im2col/matmul temporaries across steps
+}
+
+// arena lazily builds the layer's scratch arena. Layers are documented as
+// not safe for concurrent use, so a private per-layer arena needs no
+// locking; forward outputs are cached across the step and therefore never
+// released into it — only internal temporaries recycle.
+func (l *Conv2D) arena() *tensor.Scratch {
+	if l.scratch == nil {
+		l.scratch = tensor.NewScratch()
+	}
+	return l.scratch
 }
 
 // NewConv2D builds a trainable convolution with Glorot-initialized
@@ -69,7 +81,7 @@ func (l *Conv2D) Name() string { return l.LayerName }
 // Forward implements Layer.
 func (l *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	y := tensor.Conv2D(x, l.W.W, l.B.W, l.Stride, l.Pad)
+	y := tensor.Conv2DScratch(x, l.W.W, l.B.W, l.Stride, l.Pad, l.arena())
 	l.pre = y
 	if l.ReLU {
 		return tensor.ReLU(y)
@@ -82,7 +94,7 @@ func (l *Conv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	if l.ReLU {
 		gy = tensor.ReLUBackward(l.pre, gy)
 	}
-	gx, gw, gb := tensor.Conv2DBackward(l.x, l.W.W, gy, l.Stride, l.Pad)
+	gx, gw, gb := tensor.Conv2DBackwardScratch(l.x, l.W.W, gy, l.Stride, l.Pad, l.arena())
 	l.W.G.AddInPlace(gw)
 	l.B.G.AddInPlace(gb)
 	return gx
@@ -100,7 +112,16 @@ type ConvCaps2D struct {
 	Stride    int
 	Pad       int
 
-	x, pre *tensor.Tensor
+	x, pre  *tensor.Tensor
+	scratch *tensor.Scratch
+}
+
+// arena lazily builds the layer's scratch arena (see Conv2D.arena).
+func (l *ConvCaps2D) arena() *tensor.Scratch {
+	if l.scratch == nil {
+		l.scratch = tensor.NewScratch()
+	}
+	return l.scratch
 }
 
 // NewConvCaps2D builds a trainable ConvCaps2D.
@@ -120,7 +141,7 @@ func (l *ConvCaps2D) Name() string { return l.LayerName }
 // Forward implements Layer.
 func (l *ConvCaps2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	y := tensor.Conv2D(x, l.W.W, l.B.W, l.Stride, l.Pad)
+	y := tensor.Conv2DScratch(x, l.W.W, l.B.W, l.Stride, l.Pad, l.arena())
 	n, h, w := y.Shape[0], y.Shape[2], y.Shape[3]
 	l.pre = y.Reshape(n, l.Caps, l.Dim, h, w)
 	sq := tensor.Squash(l.pre, 2)
@@ -133,7 +154,7 @@ func (l *ConvCaps2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	g5 := gy.Reshape(n, l.Caps, l.Dim, h, w)
 	gpre := tensor.SquashBackward(l.pre, g5, 2)
 	gconv := gpre.Reshape(n, l.Caps*l.Dim, h, w)
-	gx, gw, gb := tensor.Conv2DBackward(l.x, l.W.W, gconv, l.Stride, l.Pad)
+	gx, gw, gb := tensor.Conv2DBackwardScratch(l.x, l.W.W, gconv, l.Stride, l.Pad, l.arena())
 	l.W.G.AddInPlace(gw)
 	l.B.G.AddInPlace(gb)
 	return gx

@@ -97,11 +97,20 @@ type ConvCaps3D struct {
 	Stride, Pad       int
 	RoutingIterations int
 
-	x     *tensor.Tensor
-	subs  []*tensor.Tensor // per-input-capsule inputs
-	cache routingCache
-	oh    int
-	ow    int
+	x       *tensor.Tensor
+	subs    []*tensor.Tensor // per-input-capsule inputs
+	cache   routingCache
+	oh      int
+	ow      int
+	scratch *tensor.Scratch // recycles per-capsule conv temporaries
+}
+
+// arena lazily builds the layer's scratch arena (see Conv2D.arena).
+func (l *ConvCaps3D) arena() *tensor.Scratch {
+	if l.scratch == nil {
+		l.scratch = tensor.NewScratch()
+	}
+	return l.scratch
 }
 
 // NewConvCaps3D builds a trainable ConvCaps3D.
@@ -139,11 +148,12 @@ func (l *ConvCaps3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		}
 		l.subs[i] = sub
 		wi := tensor.NewFrom(l.W.W.Data[i*wsz:(i+1)*wsz], l.OutCaps*l.OutDim, l.InDim, k, k)
-		out := tensor.Conv2D(sub, wi, nil, l.Stride, l.Pad)
+		out := tensor.Conv2DScratch(sub, wi, nil, l.Stride, l.Pad, l.arena())
 		for b := 0; b < n; b++ {
 			copy(votes.Data[((b*l.InCaps+i)*l.OutCaps*l.OutDim)*oh*ow:],
 				out.Data[b*l.OutCaps*l.OutDim*oh*ow:(b+1)*l.OutCaps*l.OutDim*oh*ow])
 		}
+		l.scratch.Release(out) // copied out above; recycle for the next capsule
 	}
 	v, cache := routeForward(votes, l.RoutingIterations)
 	l.cache = cache
@@ -162,14 +172,15 @@ func (l *ConvCaps3D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	gxi := gx.Reshape(n, l.InCaps, l.InDim, h, w)
 	wsz := l.OutCaps * l.OutDim * l.InDim * k * k
 	for i := 0; i < l.InCaps; i++ {
-		// Gather this capsule's vote gradients as [n, outCh, oh, ow].
-		gout := tensor.New(n, l.OutCaps*l.OutDim, oh, ow)
+		// Gather this capsule's vote gradients as [n, outCh, oh, ow];
+		// the copies below overwrite every element of the recycled buffer.
+		gout := l.arena().Take(n, l.OutCaps*l.OutDim, oh, ow)
 		for b := 0; b < n; b++ {
 			copy(gout.Data[b*l.OutCaps*l.OutDim*oh*ow:],
 				gvotes.Data[((b*l.InCaps+i)*l.OutCaps*l.OutDim)*oh*ow:((b*l.InCaps+i)*l.OutCaps*l.OutDim+l.OutCaps*l.OutDim)*oh*ow])
 		}
 		wi := tensor.NewFrom(l.W.W.Data[i*wsz:(i+1)*wsz], l.OutCaps*l.OutDim, l.InDim, k, k)
-		gsub, gw, _ := tensor.Conv2DBackward(l.subs[i], wi, gout, l.Stride, l.Pad)
+		gsub, gw, _ := tensor.Conv2DBackwardScratch(l.subs[i], wi, gout, l.Stride, l.Pad, l.arena())
 		// Accumulate weight gradient slice.
 		giw := l.W.G.Data[i*wsz : (i+1)*wsz]
 		for j, v := range gw.Data {
@@ -181,6 +192,7 @@ func (l *ConvCaps3D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 			src := gsub.Data[b*l.InDim*h*w : (b+1)*l.InDim*h*w]
 			copy(dst, src)
 		}
+		l.scratch.Release(gsub, gw, gout) // all copied/accumulated above
 	}
 	return gx
 }
