@@ -43,7 +43,13 @@
 //	-log-level  event verbosity: debug, info, warn (default), error, off
 //	-metrics    write a JSON telemetry snapshot (counters/gauges/timers:
 //	            cache hit rates, per-layer forward timings, worker
-//	            utilization) to this file on exit
+//	            utilization, latency histograms) to this file on exit
+//	-probes     write numeric-health probes (per-layer activation stats,
+//	            SQNR, saturation/overflow counts per sweep point) to
+//	            probes.csv and probes.json in this directory; inert —
+//	            results stay byte-identical — but ~doubles eval cost
+//	-trace-out  write a Chrome trace-event JSON execution trace to this
+//	            file on exit (load in chrome://tracing or Perfetto)
 //	-pprof      serve net/http/pprof on this address (e.g. localhost:6060)
 //	-cpuprofile write a CPU profile to this file
 //
@@ -95,6 +101,8 @@ func main() {
 	verbose := flag.Bool("v", false, "shorthand for -log-level info")
 	logLevel := flag.String("log-level", "", "event verbosity: debug|info|warn|error|off (default warn)")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file on exit")
+	probesDir := flag.String("probes", "", "write numeric-health probes (probes.csv/probes.json) into this directory")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON trace to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -103,10 +111,16 @@ func main() {
 		usage(os.Stderr)
 		os.Exit(2)
 	}
-	o, err := buildObs(*logLevel, *verbose, *metricsPath != "" || *pprofAddr != "" || *cpuProfile != "")
+	needMetrics := *metricsPath != "" || *pprofAddr != "" || *cpuProfile != "" || *traceOut != ""
+	o, err := buildObs(*logLevel, *verbose, needMetrics)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "redcane:", err)
 		os.Exit(2)
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+		o.AttachTrace(trace)
 	}
 	var pprofSrv *http.Server
 	if *pprofAddr != "" {
@@ -151,9 +165,13 @@ func main() {
 		os.Exit(exitInterrupted)
 	}()
 
+	var probes *core.ProbeSet
+	if *probesDir != "" {
+		probes = core.NewProbeSet()
+	}
 	cfg := experiments.Config{
 		Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers, Obs: o,
-		Ctx: runCtx, Checkpoint: *checkpointOn,
+		Ctx: runCtx, Checkpoint: *checkpointOn, Probes: probes,
 	}
 	r := experiments.NewRunner(cfg)
 	c := &cli{
@@ -187,6 +205,22 @@ func main() {
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
 		pprofSrv.Shutdown(shutCtx) //nolint:errcheck // best-effort teardown
 		shutCancel()
+	}
+	if probes != nil {
+		if err := writeProbes(probes, *probesDir); err != nil {
+			fmt.Fprintln(os.Stderr, "redcane:", err)
+			if exitCode == 0 {
+				exitCode = 1
+			}
+		}
+	}
+	if trace != nil {
+		if err := writeTrace(trace, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "redcane:", err)
+			if exitCode == 0 {
+				exitCode = 1
+			}
+		}
 	}
 	if *metricsPath != "" {
 		if err := writeMetrics(o, *metricsPath); err != nil {
@@ -222,15 +256,55 @@ func buildObs(logLevel string, verbose, needMetrics bool) (*obs.Obs, error) {
 	return obs.New(level, obs.NewTextSink(os.Stderr)), nil
 }
 
-// writeMetrics persists the end-of-run metrics snapshot. The close error
-// is returned: a snapshot that did not reach the disk (full filesystem,
+// writeMetrics persists the end-of-run metrics snapshot, sampling the
+// runtime gauges (goroutines, heap, GC) first. The close error is
+// returned: a snapshot that did not reach the disk (full filesystem,
 // quota) must fail the flush rather than silently report success.
 func writeMetrics(o *obs.Obs, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	obs.SampleRuntime(o.Metrics())
 	if err := o.Metrics().Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeProbes persists the numeric-health probes as probes.csv and
+// probes.json under dir. Like the metrics snapshot, probes from a failed
+// or interrupted run are flushed too — partial health data is exactly
+// what debugs a partial run.
+func writeProbes(ps *core.ProbeSet, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writeOne := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeOne("probes.csv", ps.WriteCSV); err != nil {
+		return err
+	}
+	return writeOne("probes.json", ps.WriteJSON)
+}
+
+// writeTrace persists the execution trace as Chrome trace-event JSON.
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -277,6 +351,11 @@ flags:
   -v             shorthand for -log-level info
   -log-level l   event verbosity: debug|info|warn|error|off (default warn)
   -metrics file  write a JSON telemetry snapshot on exit
+  -probes dir    write numeric-health probes (probes.csv/probes.json):
+                 per-layer activation stats, SQNR, saturation/overflow
+                 per sweep point; inert but ~doubles evaluation cost
+  -trace-out f   write a Chrome trace-event JSON trace on exit
+                 (load in chrome://tracing or Perfetto)
   -pprof addr    serve net/http/pprof on this address
   -cpuprofile f  write a CPU profile to this file
 

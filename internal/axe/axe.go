@@ -52,6 +52,17 @@ func quantizeCodes(t *tensor.Tensor, bits uint, s *tensor.Scratch) (fixed.Quanti
 	return q, codes
 }
 
+// accSatMax returns the largest magnitude the hardware accumulator model
+// holds for b-bit operands: a 2b-bit product register plus 8 guard bits
+// (256 guard terms), signed. A raw code-domain product sum beyond
+// ±(2^(2b+7)) is an accumulator overflow on such hardware — the numeric
+// health probes count these. The Go kernels themselves accumulate in
+// int64 and never wrap; the count is diagnostic only.
+func accSatMax(bits uint) int64 {
+	accBits := 2*bits + 8
+	return int64(1)<<(accBits-1) - 1
+}
+
 // quantGEMMMaxCols caps the size (in uint16 elements) of the code-domain
 // im2col matrix the quantized conv materializes; convolutions whose
 // matrix would be larger stream one patch row at a time instead. A
@@ -86,7 +97,9 @@ type convWindow struct {
 // the hoisted convWindow tables on border positions; interior positions
 // never test padding. Integer accumulation is order-free, so this is
 // exact-equal to the naive reference (axe_ref.go) by construction.
-func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits uint, s *tensor.Scratch) *tensor.Tensor {
+// A non-nil ovf additionally tallies accumulator overflows (see
+// accSatMax) without changing any output bit.
+func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits uint, s *tensor.Scratch, ovf *int64) *tensor.Tensor {
 	qx, xq := quantizeCodes(x, bits, s)
 	qw, wq := quantizeCodes(w, bits, s)
 
@@ -170,6 +183,7 @@ func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits
 	if bias != nil {
 		biasData = bias.Data
 	}
+	satMax := accSatMax(bits)
 
 	if n*rows*patch <= quantGEMMMaxCols {
 		// Materialize the code im2col matrix once (padding = code 0).
@@ -190,7 +204,7 @@ func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits
 					row = row[:patch:patch]
 					win := winFor(kyLo[oy], kyHi[oy], kxLo[ox], kxHi[ox])
 					quantAccRow(m, row, wq, win, sx, mx, sw, mw, biasData,
-						out.Data[b*spec.OutCh*rows+oy*ow+ox:], rows)
+						out.Data[b*spec.OutCh*rows+oy*ow+ox:], rows, satMax, ovf)
 				}
 			}
 		}
@@ -206,7 +220,7 @@ func quantConv2D[M macMul](m M, x, w, bias *tensor.Tensor, stride, pad int, bits
 					gatherCodeRow(row, xq, b, oy, ox, h, wd, spec)
 					win := winFor(kyLo[oy], kyHi[oy], kxLo[ox], kxHi[ox])
 					quantAccRow(m, row, wq, win, sx, mx, sw, mw, biasData,
-						out.Data[b*spec.OutCh*rows+oy*ow+ox:], rows)
+						out.Data[b*spec.OutCh*rows+oy*ow+ox:], rows, satMax, ovf)
 				}
 			}
 		}
@@ -264,7 +278,9 @@ func gatherCodeRow(dst []uint16, xq []uint16, b, oy, ox, h, wd int, spec tensor.
 // quantAccRow accumulates one patch row against every output channel:
 // the flat code-domain dot through m, the hoisted zero-point cross
 // terms, and the float epilogue. dst[oc*dstStride] receives channel oc.
-func quantAccRow[M macMul](m M, row, wq []uint16, win *convWindow, sx, mx, sw, mw float64, bias []float64, dst []float64, dstStride int) {
+// A non-nil ovf counts raw product sums (before the pad correction —
+// hardware accumulates every term) whose magnitude exceeds satMax.
+func quantAccRow[M macMul](m M, row, wq []uint16, win *convWindow, sx, mx, sw, mw float64, bias []float64, dst []float64, dstStride int, satMax int64, ovf *int64) {
 	var xSum int64
 	for _, xc := range row {
 		xSum += int64(xc)
@@ -275,6 +291,9 @@ func quantAccRow[M macMul](m M, row, wq []uint16, win *convWindow, sx, mx, sw, m
 		var lutSum int64
 		for i, xc := range row {
 			lutSum += int64(m.mul(xc, wrow[i]))
+		}
+		if ovf != nil && (lutSum > satMax || lutSum < -satMax-1) {
+			*ovf++
 		}
 		if win.m0 != nil {
 			lutSum -= win.m0[oc]
@@ -298,5 +317,5 @@ func QuantConv2D(x, w, bias *tensor.Tensor, stride, pad int, mult approx.Multipl
 	if bits > 8 {
 		panic(fmt.Sprintf("axe: multiplier LUTs are 8-bit, got %d", bits))
 	}
-	return quantConv2D(lutMul{approx.CompileLUT(mult)}, x, w, bias, stride, pad, bits, nil)
+	return quantConv2D(lutMul{approx.CompileLUT(mult)}, x, w, bias, stride, pad, bits, nil, nil)
 }

@@ -40,12 +40,21 @@ func (QuantExact) ApproxLayer(string) bool { return false }
 
 // Conv2D implements caps.Backend.
 func (b QuantExact) Conv2D(_ string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor {
-	return quantConv2D(exactMul{}, x, w, bias, stride, pad, effBits(b.Bits), s)
+	return quantConv2D(exactMul{}, x, w, bias, stride, pad, effBits(b.Bits), s, nil)
 }
 
 // CapsVotes implements caps.Backend.
 func (b QuantExact) CapsVotes(_ string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
-	return quantCapsVotes(exactMul{}, u, w, effBits(b.Bits), s)
+	return quantCapsVotes(exactMul{}, u, w, effBits(b.Bits), s, nil)
+}
+
+// ExactBaseline implements caps.Baseliner: the exact path is its own
+// baseline, so probing it yields ranges, moments and overflow only.
+func (b QuantExact) ExactBaseline() caps.Backend { return b }
+
+// WithOverflow implements caps.OverflowBackend.
+func (b QuantExact) WithOverflow(report func(layer string, n int64)) caps.Backend {
+	return overflowQuantExact{QuantExact: b, report: report}
 }
 
 // QuantApprox is the approximate-execution backend: b-bit quantized MACs
@@ -118,20 +127,99 @@ func (b *QuantApprox) ApproxLayer(layer string) bool {
 // Conv2D implements caps.Backend.
 func (b *QuantApprox) Conv2D(layer string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor {
 	if lut, ok := b.luts[layer]; ok {
-		return quantConv2D(lutMul{lut}, x, w, bias, stride, pad, b.bits, s)
+		return quantConv2D(lutMul{lut}, x, w, bias, stride, pad, b.bits, s, nil)
 	}
-	return quantConv2D(exactMul{}, x, w, bias, stride, pad, b.bits, s)
+	return quantConv2D(exactMul{}, x, w, bias, stride, pad, b.bits, s, nil)
 }
 
 // CapsVotes implements caps.Backend.
 func (b *QuantApprox) CapsVotes(layer string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
 	if lut, ok := b.luts[layer]; ok {
-		return quantCapsVotes(lutMul{lut}, u, w, b.bits, s)
+		return quantCapsVotes(lutMul{lut}, u, w, b.bits, s, nil)
 	}
-	return quantCapsVotes(exactMul{}, u, w, b.bits, s)
+	return quantCapsVotes(exactMul{}, u, w, b.bits, s, nil)
+}
+
+// ExactBaseline implements caps.Baseliner: QuantExact at the same
+// wordlength — the clean signal the probes compute SQNR against.
+func (b *QuantApprox) ExactBaseline() caps.Backend { return QuantExact{Bits: b.bits} }
+
+// WithOverflow implements caps.OverflowBackend.
+func (b *QuantApprox) WithOverflow(report func(layer string, n int64)) caps.Backend {
+	return overflowQuantApprox{inner: b, report: report}
+}
+
+// overflowQuantExact is QuantExact with per-call accumulator-overflow
+// reporting; outputs are bit-identical to the plain backend.
+type overflowQuantExact struct {
+	QuantExact
+	report func(layer string, n int64)
+}
+
+func (b overflowQuantExact) Conv2D(layer string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor {
+	var n int64
+	out := quantConv2D(exactMul{}, x, w, bias, stride, pad, effBits(b.Bits), s, &n)
+	if n > 0 {
+		b.report(layer, n)
+	}
+	return out
+}
+
+func (b overflowQuantExact) CapsVotes(layer string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
+	var n int64
+	out := quantCapsVotes(exactMul{}, u, w, effBits(b.Bits), s, &n)
+	if n > 0 {
+		b.report(layer, n)
+	}
+	return out
+}
+
+// overflowQuantApprox is *QuantApprox with per-call accumulator-overflow
+// reporting; outputs are bit-identical to the plain backend.
+type overflowQuantApprox struct {
+	inner  *QuantApprox
+	report func(layer string, n int64)
+}
+
+func (b overflowQuantApprox) Name() string                  { return b.inner.Name() }
+func (b overflowQuantApprox) BaseID() string                { return b.inner.BaseID() }
+func (b overflowQuantApprox) ApproxLayer(layer string) bool { return b.inner.ApproxLayer(layer) }
+
+func (b overflowQuantApprox) Conv2D(layer string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor {
+	var n int64
+	var out *tensor.Tensor
+	if lut, ok := b.inner.luts[layer]; ok {
+		out = quantConv2D(lutMul{lut}, x, w, bias, stride, pad, b.inner.bits, s, &n)
+	} else {
+		out = quantConv2D(exactMul{}, x, w, bias, stride, pad, b.inner.bits, s, &n)
+	}
+	if n > 0 {
+		b.report(layer, n)
+	}
+	return out
+}
+
+func (b overflowQuantApprox) CapsVotes(layer string, u, w *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
+	var n int64
+	var out *tensor.Tensor
+	if lut, ok := b.inner.luts[layer]; ok {
+		out = quantCapsVotes(lutMul{lut}, u, w, b.inner.bits, s, &n)
+	} else {
+		out = quantCapsVotes(exactMul{}, u, w, b.inner.bits, s, &n)
+	}
+	if n > 0 {
+		b.report(layer, n)
+	}
+	return out
 }
 
 var (
-	_ caps.Backend = QuantExact{}
-	_ caps.Backend = (*QuantApprox)(nil)
+	_ caps.Backend         = QuantExact{}
+	_ caps.Backend         = (*QuantApprox)(nil)
+	_ caps.OverflowBackend = QuantExact{}
+	_ caps.OverflowBackend = (*QuantApprox)(nil)
+	_ caps.Baseliner       = QuantExact{}
+	_ caps.Baseliner       = (*QuantApprox)(nil)
+	_ caps.Backend         = overflowQuantExact{}
+	_ caps.Backend         = overflowQuantApprox{}
 )

@@ -48,17 +48,17 @@ func checkQuantConv[M macMul](t *testing.T, name string, m M, bits uint) {
 		bias := randT(uint64(i+200), tc.oc)
 		for _, b := range []*tensor.Tensor{bias, nil} {
 			ref := quantConv2DRef(m, x, w, b, tc.stride, tc.pad, bits)
-			requireSameBits(t, name+" gemm", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, nil), ref)
+			requireSameBits(t, name+" gemm", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, nil, nil), ref)
 
 			s := tensor.NewScratch()
-			got := quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, s)
+			got := quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, s, nil)
 			requireSameBits(t, name+" gemm scratch", got, ref)
 			s.Release(got)
-			requireSameBits(t, name+" gemm scratch reuse", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, s), ref)
+			requireSameBits(t, name+" gemm scratch reuse", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, s, nil), ref)
 
 			old := quantGEMMMaxCols
 			quantGEMMMaxCols = 0 // force the streaming fallback
-			requireSameBits(t, name+" stream", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, nil), ref)
+			requireSameBits(t, name+" stream", quantConv2D(m, x, w, b, tc.stride, tc.pad, bits, nil, nil), ref)
 			quantGEMMMaxCols = old
 		}
 	}
@@ -88,14 +88,14 @@ func TestQuantCapsVotesBitwiseVsRef(t *testing.T) {
 		run  func() (*tensor.Tensor, *tensor.Tensor)
 	}{
 		{"exact", func() (*tensor.Tensor, *tensor.Tensor) {
-			return quantCapsVotes(exactMul{}, u, w, 8, nil), quantCapsVotesRef(exactMul{}, u, w, 8)
+			return quantCapsVotes(exactMul{}, u, w, 8, nil, nil), quantCapsVotesRef(exactMul{}, u, w, 8)
 		}},
 		{"lut", func() (*tensor.Tensor, *tensor.Tensor) {
 			m := lutMul{approx.CompileLUT(approx.BrokenCarry{Depth: 4})}
-			return quantCapsVotes(m, u, w, 8, nil), quantCapsVotesRef(m, u, w, 8)
+			return quantCapsVotes(m, u, w, 8, nil, nil), quantCapsVotesRef(m, u, w, 8)
 		}},
 		{"weird", func() (*tensor.Tensor, *tensor.Tensor) {
-			return quantCapsVotes(weirdMul{}, u, w, 8, nil), quantCapsVotesRef(weirdMul{}, u, w, 8)
+			return quantCapsVotes(weirdMul{}, u, w, 8, nil, nil), quantCapsVotesRef(weirdMul{}, u, w, 8)
 		}},
 	} {
 		got, want := tc.run()

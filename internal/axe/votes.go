@@ -17,7 +17,9 @@ import (
 // computed once up front instead of inside the innermost loop (the
 // reference in axe_ref.go re-derives them per vote); integer sums are
 // order-free, so results match the reference exactly.
-func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scratch) *tensor.Tensor {
+// A non-nil ovf tallies accumulator overflows (see accSatMax) without
+// changing any output bit.
+func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scratch, ovf *int64) *tensor.Tensor {
 	qu, uc := quantizeCodes(u, bits, s)
 	qw, wc := quantizeCodes(w, bits, s)
 
@@ -37,6 +39,7 @@ func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scr
 
 	su, mu := qu.Step(), qu.Min
 	sw, mw := qw.Step(), qw.Min
+	satMax := accSatMax(bits)
 	votes := s.Take(n, inCaps, outCaps, outDim, 1)
 	for b := 0; b < n; b++ {
 		for i := 0; i < inCaps; i++ {
@@ -52,6 +55,9 @@ func quantCapsVotes[M macMul](m M, u, w *tensor.Tensor, bits uint, s *tensor.Scr
 				var lutSum int64
 				for e, xc := range urow {
 					lutSum += int64(m.mul(xc, wrow[e]))
+				}
+				if ovf != nil && (lutSum > satMax || lutSum < -satMax-1) {
+					*ovf++
 				}
 				acc := su*sw*float64(lutSum) +
 					su*mw*float64(sumU) +
@@ -73,5 +79,5 @@ func QuantClassCapsVotes(u, w *tensor.Tensor, mult approx.Multiplier, bits uint)
 	if bits > 8 {
 		panic(fmt.Sprintf("axe: multiplier LUTs are 8-bit, got %d", bits))
 	}
-	return quantCapsVotes(lutMul{approx.CompileLUT(mult)}, u, w, bits, nil)
+	return quantCapsVotes(lutMul{approx.CompileLUT(mult)}, u, w, bits, nil, nil)
 }

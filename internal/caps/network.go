@@ -145,10 +145,17 @@ func (n *Network) forwardRange(lo, hi int, x *tensor.Tensor, inj noise.Injector,
 		}
 		return x
 	}
+	tr := o.Trace()
 	for _, l := range n.Layers[lo:hi] {
 		t0 := time.Now()
 		x = forwardLayer(l, x, inj, s, be)
-		o.Timer("caps.forward." + kind + "." + l.Name()).Observe(time.Since(t0))
+		d := time.Since(t0)
+		name := "caps.forward." + kind + "." + l.Name()
+		o.Timer(name).Observe(d)
+		if tr != nil {
+			// One lane per scratch arena, i.e. per worker goroutine.
+			tr.Complete(name, "forward", s.ID(), t0, d, nil)
+		}
 	}
 	return x
 }

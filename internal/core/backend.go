@@ -75,6 +75,26 @@ func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section str
 		obs.F("backend", be.Name()), obs.F("frontier", frontier), obs.F("section", section))
 	defer sp.End()
 
+	// Numeric-health probes (opt-in, inert): the reference for SQNR is
+	// the backend's own exact baseline (caps.Baseliner) — e.g. QuantExact
+	// at the same wordlength for a QuantApprox design. A backend that is
+	// its own baseline skips the reference pass; its probes carry ranges,
+	// moments and overflow counts only. Probing bypasses the prefix
+	// replay (jobs run the full forward, which the replay guarantee makes
+	// bit-identical) so every layer's MAC outputs cross the probe seam,
+	// not just the suffix after the first approximate site.
+	probing := a.Probes != nil
+	var probeAcc *probeAccum
+	var refBe caps.Backend
+	if probing {
+		probeAcc = newProbeAccum()
+		refBe = be
+		if bl, ok := be.(caps.Baseliner); ok {
+			refBe = bl.ExactBaseline()
+		}
+		frontier = 0
+	}
+
 	correct := make([]int, 1)
 	startBatch := 0
 	if a.Checkpoint != nil {
@@ -89,6 +109,12 @@ func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section str
 			a.Obs.Info("backend eval resumed from checkpoint",
 				obs.F("section", section),
 				obs.F("batches", fmt.Sprintf("%d/%d", startBatch, nb)))
+			if probing && startBatch > 0 {
+				// Probe stats are never checkpointed, so they can only
+				// cover the windows this process actually runs.
+				a.Obs.Warn("probe stats cover only the un-resumed windows",
+					obs.F("section", section), obs.F("skipped_batches", startBatch))
+			}
 		}
 	}
 
@@ -109,9 +135,25 @@ func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section str
 			return 0, err
 		}
 		jobCorrect := make([]int, b1-b0)
+		var jobProbes []*caps.ProbeRecorder
+		if probing {
+			jobProbes = make([]*caps.ProbeRecorder, len(jobCorrect))
+		}
 		err = runJobs(ctx, a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
 			bi := b0 + j
-			pred := a.Net.ClassifyFromExec(frontier, acts[j], noise.None{}, s, be)
+			var pred []int
+			if probing {
+				rec := caps.NewProbeRecorder()
+				if refBe.Name() != be.Name() {
+					rec.StartReference()
+					a.Net.ClassifyFromExec(frontier, acts[j], noise.None{}, s, caps.NewProbeBackend(refBe, rec))
+				}
+				rec.StartObserve()
+				pred = a.Net.ClassifyFromExec(frontier, acts[j], noise.None{}, s, caps.NewProbeBackend(be, rec))
+				jobProbes[j] = rec
+			} else {
+				pred = a.Net.ClassifyFromExec(frontier, acts[j], noise.None{}, s, be)
+			}
 			lo := bi * o.Batch
 			c := 0
 			for i, p := range pred {
@@ -134,6 +176,15 @@ func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section str
 		for _, c := range jobCorrect {
 			correct[0] += c
 		}
+		if probing {
+			// Ascending job order within ascending windows: bit-identical
+			// aggregation for any worker count.
+			for _, rec := range jobProbes {
+				if rec != nil {
+					probeAcc.merge(rec.Layers())
+				}
+			}
+		}
 		if a.Checkpoint != nil {
 			a.checkpointPut(section, sweepState{Correct: correct, BatchesDone: b1, Done: b1 == nb})
 		}
@@ -143,6 +194,17 @@ func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section str
 	}
 	if a.Checkpoint != nil && startBatch < nb {
 		a.checkpointPut(section, sweepState{Correct: correct, BatchesDone: nb, Done: true})
+	}
+	if probing && len(probeAcc.layers) > 0 {
+		label := a.ProbeLabel
+		if label == "" {
+			label = "backend/" + be.Name()
+		}
+		a.Probes.add(ProbeSweep{
+			Label:   label,
+			Backend: be.Name(),
+			Points:  []ProbePoint{{NM: 0, Layers: probeAcc.emit()}},
+		})
 	}
 	return float64(correct[0]) / float64(n), nil
 }

@@ -215,6 +215,19 @@ type Analyzer struct {
 	// different fingerprint ignores its stale contents. A nil Checkpoint
 	// disables persistence entirely.
 	Checkpoint *checkpoint.Store
+	// Probes, when non-nil, turns on the numeric-health probes: every
+	// sweep and backend evaluation records per-layer activation
+	// statistics (range, moments, SQNR vs the clean reference,
+	// saturation/overflow) into the set. Probing is inert — reports and
+	// checkpoints are byte-identical with probes on or off — and the
+	// aggregation is bit-identical across worker counts. It roughly
+	// doubles evaluation cost (a clean reference pass per job). Probes
+	// is not part of Options, so checkpoint fingerprints are unaffected.
+	Probes *ProbeSet
+	// ProbeLabel names the next sweep's or backend evaluation's probe
+	// record; the analysis steps set it per scope ("groups/<group>",
+	// "layers/<layer>/<group>"). Empty falls back to a derived label.
+	ProbeLabel string
 
 	sites  map[noise.Group][]noise.Site // Step 1 cache
 	pcache *prefixCache                 // sweep engine's whole-set clean-prefix cache
@@ -359,6 +372,12 @@ func (a *Analyzer) AnalyzeGroups(ctx context.Context, clean float64) ([]GroupRes
 			}
 			if ok {
 				a.Obs.Info("group analysis resumed from checkpoint", obs.F("groups", len(out)))
+				if a.Probes != nil {
+					// Probe stats are never checkpointed: a fully resumed
+					// analysis executes nothing and records nothing.
+					a.Obs.Warn("group analysis fully resumed; no probe stats recorded",
+						obs.F("hint", "use -checkpoint=false or a fresh -dir for a full probe capture"))
+				}
 				return out, nil
 			}
 		}
@@ -378,6 +397,7 @@ func (a *Analyzer) AnalyzeGroups(ctx context.Context, clean float64) ([]GroupRes
 		if len(groups[g]) == 0 {
 			continue
 		}
+		a.ProbeLabel = "groups/" + g.String()
 		pts, err := a.sweep(ctx, noise.ForGroup(g), clean, uint64(gi)*100000)
 		if err != nil {
 			return nil, fmt.Errorf("group sweep %s: %w", g, err)
@@ -432,6 +452,10 @@ func (a *Analyzer) AnalyzeLayers(ctx context.Context, groups []GroupResult, clea
 			}
 			if ok {
 				a.Obs.Info("layer analysis resumed from checkpoint", obs.F("layers", len(out)))
+				if a.Probes != nil {
+					a.Obs.Warn("layer analysis fully resumed; no probe stats recorded",
+						obs.F("hint", "use -checkpoint=false or a fresh -dir for a full probe capture"))
+				}
 				return out, nil
 			}
 		}
@@ -452,6 +476,7 @@ func (a *Analyzer) AnalyzeLayers(ctx context.Context, groups []GroupResult, clea
 		var tols []float64
 		start := len(out)
 		for li, site := range sitesByGroup[gr.Group] {
+			a.ProbeLabel = "layers/" + site.Layer + "/" + gr.Group.String()
 			pts, err := a.sweep(ctx, noise.ForLayerGroup(site.Layer, gr.Group), clean,
 				uint64(gi+1)*10000000+uint64(li)*100000)
 			if err != nil {
@@ -713,20 +738,20 @@ func (a *Analyzer) RunMethodology(ctx context.Context, profiles []ComponentProfi
 	run := a.Obs.StartSpan("methodology.run",
 		obs.F("network", a.Net.Name()), obs.F("dataset", a.Data.Name))
 	x, y := a.evalData()
-	sp := a.Obs.StartSpan("methodology.clean_eval")
+	sp := run.Child("methodology.clean_eval")
 	clean, err := a.CleanAccuracyCtx(ctx)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
-	sp = a.Obs.StartSpan("methodology.groups")
+	sp = run.Child("methodology.groups")
 	groups, err := a.AnalyzeGroups(ctx, clean)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	sp = a.Obs.StartSpan("methodology.layers")
+	sp = run.Child("methodology.layers")
 	layers, err := a.AnalyzeLayers(ctx, groups, clean)
 	sp.End()
 	if err != nil {
@@ -751,7 +776,7 @@ func (a *Analyzer) RunMethodology(ctx context.Context, profiles []ComponentProfi
 	}
 
 	inj := NewPerSiteInjector(choices, a.Opts.Seed+777)
-	sp = a.Obs.StartSpan("methodology.validate")
+	sp = run.Child("methodology.validate")
 	validated, err := caps.AccuracyCtx(ctx, a.Net, x, y, inj, a.Opts.Batch, a.Opts.Workers)
 	sp.End()
 	if err != nil {

@@ -386,6 +386,17 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 	correct := make([]int, len(evals)) // per (point, trial), summed over batches
 	totalJobs := len(evals) * nb
 
+	// Numeric-health probes: opt-in, never checkpointed, provably inert
+	// (the probed pass is the result pass; see probe.go). probeAcc[pi]
+	// accumulates per-layer stats for sweep point pi in ascending
+	// (window, job) order, which keeps every float sum bit-identical
+	// across worker counts.
+	probing := a.Probes != nil
+	var probeAcc []*probeAccum
+	if probing {
+		probeAcc = make([]*probeAccum, len(o.NMSweep))
+	}
+
 	// Resume from the checkpointed window boundary, if any.
 	ckey := fmt.Sprintf("sweep-%d", seedBase)
 	startBatch := 0
@@ -404,6 +415,12 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 				obs.F("sweep", ckey),
 				obs.F("batches", fmt.Sprintf("%d/%d", startBatch, nb)),
 				obs.F("skipped_jobs", skipped))
+			if probing && startBatch > 0 {
+				// Probe stats are never checkpointed, so they can only
+				// cover the windows this process actually runs.
+				a.Obs.Warn("probe stats cover only the un-resumed windows",
+					obs.F("sweep", ckey), obs.F("skipped_batches", startBatch))
+			}
 		}
 	}
 
@@ -423,6 +440,7 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		if b1 > nb {
 			b1 = nb
 		}
+		tw0 := time.Now()
 		acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, caps.Float{})
 		if err != nil {
 			return nil, err
@@ -431,13 +449,31 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		// One job per (point, trial, batch); each job owns its result slot.
 		nbw := b1 - b0
 		jobCorrect := make([]int, len(evals)*nbw)
+		var jobProbes []*caps.ProbeRecorder
+		if probing {
+			jobProbes = make([]*caps.ProbeRecorder, len(jobCorrect))
+		}
 		err = runJobs(ctx, a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
 			e := evals[j/nbw]
 			bi := b0 + j%nbw
 			nm := o.NMSweep[e.pi]
 			seed := noise.StreamSeed(o.Seed, seedBase, uint64(e.pi), uint64(e.trial), uint64(bi))
 			inj := noise.NewGaussian(nm, o.NA, filter, seed)
-			pred := a.Net.ClassifyFrom(frontier, acts[bi-b0], inj, s)
+			var pred []int
+			if probing {
+				// Reference pass: the clean suffix, recorded at the Backend
+				// seam. noise.None draws nothing from inj, and the kernels
+				// write scratch buffers before reading them, so the extra
+				// pass cannot perturb the result pass below.
+				rec := caps.NewProbeRecorder()
+				rec.StartReference()
+				a.Net.ClassifyFromExec(frontier, acts[bi-b0], noise.None{}, s, caps.NewProbeBackend(caps.Float{}, rec))
+				rec.StartObserve()
+				pred = a.Net.ClassifyFromExec(frontier, acts[bi-b0], inj, s, caps.NewProbeBackend(caps.Float{}, rec))
+				jobProbes[j] = rec
+			} else {
+				pred = a.Net.ClassifyFrom(frontier, acts[bi-b0], inj, s)
+			}
 			lo := bi * o.Batch
 			c := 0
 			for i, p := range pred {
@@ -461,10 +497,31 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 				obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
 			return nil, err
 		}
+		// Merge in ascending job order: correct-counts, the value-domain
+		// job-correct histogram (integer observations, so bucket counts
+		// and sum are scheduling-invariant), and the probe stats.
+		hist := a.Obs.Histogram("sweep.job_correct")
 		for j, c := range jobCorrect {
 			correct[j/nbw] += c
+			hist.Observe(float64(c))
+		}
+		if probing {
+			for j, rec := range jobProbes {
+				if rec == nil {
+					continue
+				}
+				pi := evals[j/nbw].pi
+				if probeAcc[pi] == nil {
+					probeAcc[pi] = newProbeAccum()
+				}
+				probeAcc[pi].merge(rec.Layers())
+			}
 		}
 		doneJobs += len(jobCorrect)
+		if tr := a.Obs.Trace(); tr != nil {
+			tr.Complete("sweep.window", "sweep", 0, tw0, time.Since(tw0),
+				map[string]any{"sweep": ckey, "batches": fmt.Sprintf("%d-%d/%d", b0, b1, nb), "jobs": len(jobCorrect)})
+		}
 		if a.Checkpoint != nil {
 			a.checkpointPut(ckey, sweepState{Correct: correct, BatchesDone: b1, Done: b1 == nb})
 		}
@@ -498,6 +555,23 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 			obs.F("frontier", frontier), obs.F("jobs", totalJobs),
 			obs.F("dur", dur.Round(time.Millisecond)),
 			obs.F("jobs_per_sec", fmt.Sprintf("%.1f", rate)))
+	}
+
+	if probing {
+		label := a.ProbeLabel
+		if label == "" {
+			label = ckey
+		}
+		swp := ProbeSweep{Label: label, Backend: "float"}
+		for pi, nm := range o.NMSweep {
+			if probeAcc[pi] == nil {
+				continue
+			}
+			swp.Points = append(swp.Points, ProbePoint{NM: nm, Layers: probeAcc[pi].emit()})
+		}
+		if len(swp.Points) > 0 {
+			a.Probes.add(swp)
+		}
 	}
 
 	points := make([]SweepPoint, len(o.NMSweep))

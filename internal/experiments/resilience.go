@@ -136,6 +136,7 @@ func (r *Runner) GroupSweep(b Benchmark, ov Overrides) (*GroupSweepResult, error
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
+		Probes:     r.Cfg.Probes,
 	}
 	ctx := r.ctx()
 	clean, err := a.CleanAccuracyCtx(ctx)
@@ -253,6 +254,7 @@ func (r *Runner) LayerSweep(b Benchmark, ov Overrides) (*Fig10Result, error) {
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
+		Probes:     r.Cfg.Probes,
 	}
 	ctx := r.ctx()
 	clean, err := a.CleanAccuracyCtx(ctx)
@@ -325,6 +327,7 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
+		Probes:     r.Cfg.Probes,
 	}
 	report, err := a.RunMethodology(r.ctx(), profiles)
 	if err != nil {

@@ -42,6 +42,11 @@ type Config struct {
 	// progress events (training phases, sweep stages with rates and ETAs)
 	// and the engine/per-layer metrics. Telemetry never alters results.
 	Obs *obs.Obs
+	// Probes, when non-nil, records per-layer numeric-health statistics
+	// (core.ProbeSet) for every sweep and backend evaluation the runner
+	// performs. Probing never alters results or checkpoints; it roughly
+	// doubles evaluation cost.
+	Probes *core.ProbeSet
 	// Log is the legacy progress hook: when set and Obs is nil, NewRunner
 	// bridges it to an info-level text-event Obs writing to this writer.
 	// Prefer Obs.

@@ -140,6 +140,7 @@ func (r *Runner) Validate(b Benchmark, backendName string, bits uint) (*Validate
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
+		Probes:     r.Cfg.Probes,
 	}
 	ctx := r.ctx()
 	sp := r.obs().StartSpan("experiment.validate",

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// histBuckets is the number of finite histogram buckets. Bucket i covers
+// (2^(i-1), 2^i] (bucket 0 covers [0, 1]); everything above 2^48 lands in
+// the final overflow bucket. 2^48 ns ≈ 78 h and 2^48 ≈ 2.8e14 in the
+// value domain, so both duration and value observations fit.
+const histBuckets = 50
+
+// Histogram is a log2-bucketed distribution metric: fixed power-of-two
+// bucket bounds, atomic bucket counters, and a mergeable representation.
+// Fixed bounds make two histograms of the same metric directly
+// comparable and mergeable without rebinning — the property the sweep
+// engine's worker-count invariance tests rely on.
+//
+// Determinism contract: like counters, bucket counts and Sum depend only
+// on the multiset of observed values, never on observation order or
+// scheduling. Value-domain histograms observed from deterministic code
+// are therefore scheduling-invariant; duration histograms inherit the
+// wall-clock caveat of timers.
+//
+// A nil *Histogram no-ops everywhere.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 accumulated via CAS
+}
+
+// histBucket maps a value to its bucket index: the smallest i with
+// v <= 2^i, clamped to the overflow bucket. NaN and values <= 1 land in
+// bucket 0.
+func histBucket(v float64) int {
+	if v != v || v <= 1 {
+		return 0
+	}
+	if v > float64(int64(1)<<(histBuckets-2)) {
+		return histBuckets - 1
+	}
+	e := math.Ilogb(v) // floor(log2 v) for finite positive v
+	idx := e
+	if math.Ldexp(1, e) != v {
+		idx = e + 1 // not an exact power of two: round the exponent up
+	}
+	return idx
+}
+
+// histBound returns bucket i's inclusive upper bound (+Inf for the
+// overflow bucket).
+func histBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, i)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Merge folds src's observations into h. Bucket bounds are fixed, so the
+// merge is an element-wise add and is exact for bucket counts.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+src.Sum())) {
+			return
+		}
+	}
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) from bucket counts by
+// linear interpolation inside the containing bucket. The overflow bucket
+// reports its lower bound.
+func quantile(counts *[histBuckets]int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = math.Ldexp(1, i-1)
+			}
+			if i == histBuckets-1 {
+				return lo
+			}
+			hi := math.Ldexp(1, i)
+			return lo + (hi-lo)*(target-cum)/float64(n)
+		}
+		cum = next
+	}
+	return math.Ldexp(1, histBuckets-2)
+}
+
+// HistogramBucket is one cumulative bucket of a snapshot: Count is the
+// number of observations <= LE (Prometheus-style; the final bucket has
+// LE "+Inf" and Count equal to the histogram count).
+type HistogramBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramStats is a histogram's snapshot form. Percentiles are
+// interpolated from the log2 buckets, so they carry bucket-resolution
+// (~2×) error; the bucket list is exact and scheduling-invariant for
+// value-domain histograms.
+type HistogramStats struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Stats snapshots the histogram. Buckets are cumulative and truncated
+// after the last non-empty finite bucket, always ending with "+Inf".
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	var counts [histBuckets]int64
+	last := -1
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	st := HistogramStats{
+		Count: h.count.Load(),
+		Sum:   h.Sum(),
+		P50:   quantile(&counts, total, 0.50),
+		P90:   quantile(&counts, total, 0.90),
+		P99:   quantile(&counts, total, 0.99),
+	}
+	if last < 0 {
+		return st
+	}
+	if last > histBuckets-2 {
+		last = histBuckets - 2
+	}
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		st.Buckets = append(st.Buckets, HistogramBucket{
+			LE:    strconv.FormatFloat(histBound(i), 'g', -1, 64),
+			Count: cum,
+		})
+	}
+	st.Buckets = append(st.Buckets, HistogramBucket{LE: "+Inf", Count: total})
+	return st
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{math.NaN(), 0},
+		{-5, 0},
+		{0, 0},
+		{0.3, 0},
+		{1, 0},      // bucket 0 is [0, 1]
+		{1.0001, 1}, // (1, 2]
+		{2, 1},      // bounds are inclusive
+		{2.0001, 2}, // (2, 4]
+		{1024, 10},  // exact power of two: (512, 1024]
+		{1025, 11},  // just past it
+		{math.Ldexp(1, 48), 48},
+		{math.Ldexp(1, 48) + 1e10, histBuckets - 1}, // overflow bucket
+		{math.Inf(1), histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.want {
+			t.Errorf("histBucket(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every finite bucket's bound must map back into that bucket
+	// (inclusive upper bounds).
+	for i := 0; i < histBuckets-1; i++ {
+		if got := histBucket(histBound(i)); got != i {
+			t.Errorf("histBucket(histBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramObserveAndStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.5, 1, 3, 3, 3, 100, 1e20} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 0.5+1+3+3+3+100+1e20 {
+		t.Fatalf("sum = %g", got)
+	}
+	st := h.Stats()
+	if st.Count != 7 || st.Sum != h.Sum() {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Buckets are cumulative, non-decreasing, and end with +Inf == count.
+	if len(st.Buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	prev := int64(0)
+	for _, b := range st.Buckets {
+		if b.Count < prev {
+			t.Fatalf("cumulative counts decrease at le=%s: %d < %d", b.LE, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	lastB := st.Buckets[len(st.Buckets)-1]
+	if lastB.LE != "+Inf" || lastB.Count != 7 {
+		t.Fatalf("final bucket = %+v", lastB)
+	}
+	// The three 3s dominate the middle of the distribution: p50 must land
+	// in their bucket, (2, 4].
+	if st.P50 <= 2 || st.P50 > 4 {
+		t.Fatalf("p50 = %g, want in (2, 4]", st.P50)
+	}
+	// p99 falls in the overflow bucket (the 1e20 observation), which
+	// reports its lower bound.
+	if st.P99 != math.Ldexp(1, histBuckets-2) {
+		t.Fatalf("p99 = %g", st.P99)
+	}
+}
+
+func TestHistogramEmptyStats(t *testing.T) {
+	var h Histogram
+	st := h.Stats()
+	if st.Count != 0 || st.Sum != 0 || st.P50 != 0 || len(st.Buckets) != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	var nilH *Histogram
+	nilH.Observe(3) // must not panic
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	var a, b, both Histogram
+	va := []float64{0.5, 2, 7, 7, 1000}
+	vb := []float64{3, 3, 512, 1e6}
+	for _, v := range va {
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for _, v := range vb {
+		b.Observe(v)
+		both.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), both.Count())
+	}
+	for i := range a.buckets {
+		if got, want := a.buckets[i].Load(), both.buckets[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	// The merge adds one float sum to another, so it matches the
+	// sequential sum here (same addition order).
+	if a.Sum() != both.Sum() {
+		t.Fatalf("merged sum = %g, want %g", a.Sum(), both.Sum())
+	}
+}
+
+func TestTimerPercentilesInSnapshot(t *testing.T) {
+	m := NewMetrics()
+	tm := m.Timer("t")
+	for i := 0; i < 100; i++ {
+		tm.Observe(1000) // 1 µs
+	}
+	s := m.Snapshot()
+	ts, ok := s.Timers["t"]
+	if !ok {
+		t.Fatal("timer missing from snapshot")
+	}
+	// All observations are 1000 ns; the containing bucket is (512, 1024].
+	for _, p := range []float64{ts.P50NS, ts.P90NS, ts.P99NS} {
+		if p <= 512 || p > 1024 {
+			t.Fatalf("percentile %g outside the 1000 ns bucket", p)
+		}
+	}
+}
+
+func TestValueHistogramInSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram("sweep.job_correct").Observe(5)
+	m.Histogram("sweep.job_correct").Observe(17)
+	s := m.Snapshot()
+	hs, ok := s.Histograms["sweep.job_correct"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 2 || hs.Sum != 22 {
+		t.Fatalf("histogram stats = %+v", hs)
+	}
+}

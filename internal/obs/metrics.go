@@ -24,18 +24,20 @@ import (
 // A nil *Metrics (and the nil handles it returns) is valid everywhere and
 // makes every operation a no-op.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		timers:   map[string]*Timer{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -82,6 +84,21 @@ func (m *Metrics) Timer(name string) *Timer {
 		m.timers[name] = t
 	}
 	return t
+}
+
+// Histogram returns (registering on first use) the named histogram.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -138,8 +155,13 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Timer accumulates observation count and total duration.
-type Timer struct{ n, ns atomic.Int64 }
+// Timer accumulates observation count, total duration and a log2
+// latency histogram (in nanoseconds), so snapshots report percentiles
+// alongside the scheduling-invariant count/total.
+type Timer struct {
+	n, ns atomic.Int64
+	h     Histogram
+}
 
 // Observe records one duration.
 func (t *Timer) Observe(d time.Duration) {
@@ -148,6 +170,16 @@ func (t *Timer) Observe(d time.Duration) {
 	}
 	t.n.Add(1)
 	t.ns.Add(int64(d))
+	t.h.Observe(float64(d))
+}
+
+// Hist exposes the timer's nanosecond-domain histogram (nil for a nil
+// timer) — the handle the Prometheus exposition reads buckets from.
+func (t *Timer) Hist() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.h
 }
 
 // Count returns the number of observations.
@@ -166,19 +198,24 @@ func (t *Timer) Total() time.Duration {
 	return time.Duration(t.ns.Load())
 }
 
-// TimerStats is a timer's snapshot form.
+// TimerStats is a timer's snapshot form. The percentiles come from the
+// timer's log2 histogram, so they carry bucket-resolution (~2×) error.
 type TimerStats struct {
 	Count   int64   `json:"count"`
 	TotalNS int64   `json:"total_ns"`
 	AvgNS   float64 `json:"avg_ns"`
+	P50NS   float64 `json:"p50_ns,omitempty"`
+	P90NS   float64 `json:"p90_ns,omitempty"`
+	P99NS   float64 `json:"p99_ns,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric, JSON-serializable
 // with deterministic key order (encoding/json sorts map keys).
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters"`
-	Gauges   map[string]float64    `json:"gauges"`
-	Timers   map[string]TimerStats `json:"timers"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Timers     map[string]TimerStats     `json:"timers"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the registry. Safe to call concurrently with updates;
@@ -205,8 +242,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		st := TimerStats{Count: n, TotalNS: int64(total)}
 		if n > 0 {
 			st.AvgNS = float64(total) / float64(n)
+			hs := t.h.Stats()
+			st.P50NS, st.P90NS, st.P99NS = hs.P50, hs.P90, hs.P99
 		}
 		s.Timers[name] = st
+	}
+	if len(m.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(m.histograms))
+		for name, h := range m.histograms {
+			s.Histograms[name] = h.Stats()
+		}
 	}
 	return s
 }

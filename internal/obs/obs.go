@@ -108,12 +108,14 @@ func (s *TextSink) Write(e Event) {
 	fmt.Fprintln(s.w)
 }
 
-// Obs bundles an event sink with a metrics registry. The zero value is
-// not useful; construct with New. A nil *Obs disables all telemetry.
+// Obs bundles an event sink with a metrics registry and an optional
+// trace buffer. The zero value is not useful; construct with New. A nil
+// *Obs disables all telemetry.
 type Obs struct {
 	level Level
 	sink  Sink
 	m     *Metrics
+	trace *Trace
 }
 
 // New returns an Obs emitting events at or above level to sink (nil sink
@@ -178,6 +180,26 @@ func (o *Obs) Metrics() *Metrics {
 	return o.m
 }
 
+// AttachTrace enables trace collection: spans and instrumented kernels
+// record Chrome trace events into t until the Obs is dropped. It mutates
+// the Obs without synchronization, so it must be called before the
+// handle is shared across goroutines (in practice: right after New).
+func (o *Obs) AttachTrace(t *Trace) {
+	if o == nil {
+		return
+	}
+	o.trace = t
+}
+
+// Trace returns the attached trace buffer (nil when tracing is off or o
+// is nil). Hot paths use the nil check as their fast-path guard.
+func (o *Obs) Trace() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.trace
+}
+
 // Counter returns the named counter handle (nil, and safe, when o is nil).
 func (o *Obs) Counter(name string) *Counter { return o.Metrics().Counter(name) }
 
@@ -186,6 +208,10 @@ func (o *Obs) Gauge(name string) *Gauge { return o.Metrics().Gauge(name) }
 
 // Timer returns the named timer handle (nil, and safe, when o is nil).
 func (o *Obs) Timer(name string) *Timer { return o.Metrics().Timer(name) }
+
+// Histogram returns the named histogram handle (nil, and safe, when o is
+// nil).
+func (o *Obs) Histogram(name string) *Histogram { return o.Metrics().Histogram(name) }
 
 // LineWriter adapts the Obs to an io.Writer emitting one event per
 // written line at the given level — the bridge for legacy io.Writer

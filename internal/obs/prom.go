@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// promName sanitizes a metric name for the Prometheus text exposition
+// format: every character outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit gets a '_' prefix.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9': // digits are fine except in front
+		default:
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// promFloat renders a sample value ('+Inf'/'-Inf'/'NaN' per the text
+// format).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// cumulative snapshots the histogram's buckets as cumulative counts.
+func (h *Histogram) cumulative() (counts [histBuckets]int64, total int64) {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+		counts[i] = total
+	}
+	return
+}
+
+// writePromHistogram emits one Prometheus histogram family: cumulative
+// _bucket series (le scaled by 1/scale), _sum (also scaled) and _count.
+// Buckets after the last observation collapse into le="+Inf".
+func writePromHistogram(w io.Writer, name string, h *Histogram, scale float64) {
+	counts, total := h.cumulative()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	last := -1
+	for i := range counts[:histBuckets-1] {
+		if i == 0 && counts[i] != 0 || i > 0 && counts[i] != counts[i-1] {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(histBound(i)/scale), counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum()/scale))
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as plain samples, timers
+// as "<name>_seconds" histogram families (log2 nanosecond buckets
+// rescaled to seconds), and value-domain histograms as histogram
+// families in their native units. Families are emitted in sorted name
+// order, so the output is deterministic for a registry at rest.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(m.timers))
+	for k, v := range m.timers {
+		timers[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(m.histograms))
+	for k, v := range m.histograms {
+		histograms[k] = v
+	}
+	m.mu.Unlock()
+
+	ew := &errWriter{w: w}
+	for _, name := range sortedKeys(counters) {
+		n := promName(name)
+		fmt.Fprintf(ew, "# TYPE %s counter\n%s %d\n", n, n, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		n := promName(name)
+		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(gauges[name].Value()))
+	}
+	for _, name := range sortedKeys(timers) {
+		writePromHistogram(ew, promName(name)+"_seconds", timers[name].Hist(), float64(1e9))
+	}
+	for _, name := range sortedKeys(histograms) {
+		writePromHistogram(ew, promName(name), histograms[name], 1)
+	}
+	return ew.err
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseProm is a minimal parser of the Prometheus text exposition format
+// (version 0.0.4): `# TYPE name kind` headers and `name[{labels}] value`
+// samples. It fails the test on any line that fits neither shape.
+func parseProm(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		key, valStr := line[:i], line[i+1:]
+		var val float64
+		switch valStr {
+		case "+Inf", "-Inf", "NaN":
+			val = 0 // representable; the exact value is not asserted here
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+			val = v
+		}
+		// The metric name (before any label set) must be a valid
+		// Prometheus identifier.
+		name := key
+		if j := strings.IndexByte(key, '{'); j >= 0 {
+			name = key[:j]
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, key)
+			}
+		}
+		for i, c := range name {
+			ok := c == '_' || c == ':' ||
+				c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+				c >= '0' && c <= '9' && i > 0
+			if !ok {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+			}
+		}
+		samples[key] = val
+	}
+	return types, samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("sweep.jobs").Add(7)
+	m.Gauge("sweep.workers.utilization").Set(0.75)
+	for i := 0; i < 10; i++ {
+		m.Timer("caps.forward.total").Observe(time.Microsecond)
+	}
+	h := m.Histogram("sweep.job_correct")
+	h.Observe(3)
+	h.Observe(17)
+	h.Observe(17)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	types, samples := parseProm(t, text)
+
+	if types["sweep_jobs"] != "counter" || samples["sweep_jobs"] != 7 {
+		t.Fatalf("counter family wrong: types=%v samples=%v", types, samples)
+	}
+	if types["sweep_workers_utilization"] != "gauge" || samples["sweep_workers_utilization"] != 0.75 {
+		t.Fatalf("gauge family wrong")
+	}
+	if types["caps_forward_total_seconds"] != "histogram" {
+		t.Fatalf("timer not exposed as a histogram: %v", types)
+	}
+	if types["sweep_job_correct"] != "histogram" {
+		t.Fatalf("value histogram missing: %v", types)
+	}
+
+	// Histogram contract: _bucket series cumulative and non-decreasing,
+	// le="+Inf" bucket equal to _count, _sum present.
+	for _, fam := range []struct {
+		name string
+		sum  float64
+		n    float64
+	}{
+		{"caps_forward_total_seconds", 10 * 1e-6, 10},
+		{"sweep_job_correct", 37, 3},
+	} {
+		if got := samples[fam.name+"_count"]; got != fam.n {
+			t.Fatalf("%s_count = %g, want %g", fam.name, got, fam.n)
+		}
+		if got := samples[fam.name+"_sum"]; got != fam.sum {
+			t.Fatalf("%s_sum = %g, want %g", fam.name, got, fam.sum)
+		}
+		inf := fmt.Sprintf("%s_bucket{le=\"+Inf\"}", fam.name)
+		if got, ok := samples[inf]; !ok || got != fam.n {
+			t.Fatalf("%s = %g, ok=%v, want %g", inf, got, ok, fam.n)
+		}
+		// Walk the family's bucket lines in emission order and check
+		// monotonicity.
+		prev := -1.0
+		nb := 0
+		for _, line := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(line, fam.name+"_bucket{") {
+				continue
+			}
+			nb++
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("%s buckets decrease: %q", fam.name, line)
+			}
+			prev = v
+		}
+		if nb < 2 {
+			t.Fatalf("%s has %d bucket lines", fam.name, nb)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sweep.jobs":          "sweep_jobs",
+		"server.http.GET /v1": "server_http_GET__v1",
+		"9lives":              "_9lives",
+		"ok_name:total":       "ok_name:total",
+		"":                    "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	m := NewMetrics()
+	SampleRuntime(m)
+	if m.Gauge("runtime.goroutines").Value() < 1 {
+		t.Fatal("goroutine gauge not sampled")
+	}
+	if m.Gauge("runtime.heap_alloc_bytes").Value() <= 0 {
+		t.Fatal("heap gauge not sampled")
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsConcurrentStress hammers every metric kind from many
+// goroutines while snapshots and Prometheus expositions run concurrently.
+// Under -race this proves the CAS loops (Gauge.Add, Histogram sums) and
+// the registry locking race-free; without -race it still checks the
+// totals, which CAS loops must not lose under contention.
+func TestMetricsConcurrentStress(t *testing.T) {
+	m := NewMetrics()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := m.Gauge("stress.gauge")
+			c := m.Counter("stress.counter")
+			tm := m.Timer("stress.timer")
+			h := m.Histogram("stress.hist")
+			for i := 0; i < perWorker; i++ {
+				g.Add(0.5)
+				c.Inc()
+				tm.Observe(time.Duration(i))
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	// Concurrent readers: snapshots and expositions during the writes.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Snapshot()
+				m.WritePrometheus(io.Discard) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+
+	const n = workers * perWorker
+	if v := m.Counter("stress.counter").Value(); v != n {
+		t.Fatalf("counter = %d, want %d", v, n)
+	}
+	// Every Add is 0.5, so the float CAS loop must land exactly on n/2.
+	if v := m.Gauge("stress.gauge").Value(); v != n/2 {
+		t.Fatalf("gauge = %g, want %d", v, n/2)
+	}
+	if v := m.Timer("stress.timer").Count(); v != n {
+		t.Fatalf("timer count = %d, want %d", v, n)
+	}
+	if v := m.Histogram("stress.hist").Count(); v != n {
+		t.Fatalf("histogram count = %d, want %d", v, n)
+	}
+}

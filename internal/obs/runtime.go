@@ -1,0 +1,22 @@
+package obs
+
+import "runtime"
+
+// SampleRuntime copies the Go runtime's health signals into gauges:
+// goroutine count, heap usage, GC cycles and accumulated GC pause time.
+// It calls runtime.ReadMemStats (a brief stop-the-world), so callers
+// sample at scrape or snapshot boundaries, not in hot loops. A nil
+// registry no-ops.
+func SampleRuntime(m *Metrics) {
+	if m == nil {
+		return
+	}
+	m.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	m.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	m.Gauge("runtime.sys_bytes").Set(float64(ms.Sys))
+	m.Gauge("runtime.gc_runs").Set(float64(ms.NumGC))
+	m.Gauge("runtime.gc_pause_total_ns").Set(float64(ms.PauseTotalNs))
+}

@@ -4,8 +4,11 @@ import "time"
 
 // Span measures one named phase of work: StartSpan emits a debug event,
 // End records the duration into the "span.<name>" timer and emits an
-// info event with the rounded duration. A nil Span (from a nil Obs) is
-// valid and End is a no-op, so call sites need no guards:
+// info event with the rounded duration. When a Trace is attached to the
+// Obs, each span carries a unique id (and its parent's id, for spans
+// opened with Child), and End additionally records a Chrome trace event.
+// A nil Span (from a nil Obs) is valid and End is a no-op, so call sites
+// need no guards:
 //
 //	sp := o.StartSpan("train.fit", obs.F("epochs", n))
 //	defer sp.End()
@@ -14,16 +17,34 @@ type Span struct {
 	name   string
 	fields []Field
 	start  time.Time
+	id     uint64
+	parent uint64
+	tid    int64
 }
 
-// StartSpan opens a span. The fields are attached to both the start and
-// end events.
+// StartSpan opens a root span. The fields are attached to both the start
+// and end events.
 func (o *Obs) StartSpan(name string, fields ...Field) *Span {
 	if o == nil {
 		return nil
 	}
 	o.Event(Debug, name+" started", fields...)
-	return &Span{o: o, name: name, fields: fields, start: time.Now()}
+	return &Span{o: o, name: name, fields: fields, start: time.Now(), id: o.trace.SpanID()}
+}
+
+// Child opens a sub-span of s: same Obs and trace lane, with s recorded
+// as the parent in the trace. On a nil span it degrades to a root span
+// on a nil Obs (still safe).
+func (s *Span) Child(name string, fields ...Field) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.o.StartSpan(name, fields...)
+	if c != nil {
+		c.parent = s.id
+		c.tid = s.tid
+	}
+	return c
 }
 
 // End closes the span and returns its duration.
@@ -33,6 +54,13 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.o.Timer("span." + s.name).Observe(d)
+	if tr := s.o.Trace(); tr != nil {
+		args := map[string]any{"id": s.id}
+		if s.parent != 0 {
+			args["parent"] = s.parent
+		}
+		tr.Complete(s.name, "span", s.tid, s.start, d, args)
+	}
 	s.o.Event(Info, s.name+" done", append(s.fields[:len(s.fields):len(s.fields)], F("dur", d.Round(time.Millisecond)))...)
 	return d
 }

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTraceEvents bounds the per-run trace buffer (~8 MB of events). Once
+// full, further events are counted as dropped instead of buffered, so a
+// long sweep with per-layer tracing cannot exhaust memory.
+const maxTraceEvents = 1 << 16
+
+// TraceEvent is one Chrome trace-event record ("X" complete events
+// only). Timestamps and durations are microseconds relative to the
+// trace start, per the trace-event format consumed by chrome://tracing
+// and Perfetto.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace buffers completed spans and kernel timings for one run and
+// serializes them as Chrome trace-event JSON. It is safe for concurrent
+// use; the buffer is bounded (see maxTraceEvents) with a dropped-event
+// counter instead of unbounded growth.
+//
+// A nil *Trace no-ops everywhere, mirroring the rest of the package.
+type Trace struct {
+	start   time.Time
+	nextID  atomic.Uint64
+	dropped atomic.Int64
+
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTrace returns an empty trace anchored at the current time.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// SpanID allocates a fresh nonzero span identifier (0 for a nil trace).
+func (t *Trace) SpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextID.Add(1)
+}
+
+// Complete records one finished slice of work on lane tid. args may be
+// nil; the map is stored as-is, so callers must not mutate it afterwards.
+func (t *Trace) Complete(name, cat string, tid int64, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		TS:   float64(start.Sub(t.start)) / float64(time.Microsecond),
+		Dur:  float64(d) / float64(time.Microsecond),
+		PID:  1,
+		TID:  tid,
+		Args: args,
+	}
+	t.mu.Lock()
+	if len(t.events) >= maxTraceEvents {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded after the buffer
+// filled.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// WriteJSON serializes the trace in Chrome trace-event JSON object form:
+// {"traceEvents": [...], ...}. The output loads directly into
+// chrome://tracing or Perfetto.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	events := []TraceEvent{}
+	var dropped int64
+	if t != nil {
+		t.mu.Lock()
+		events = append(events, t.events...)
+		t.mu.Unlock()
+		dropped = t.dropped.Load()
+	}
+	doc := struct {
+		TraceEvents     []TraceEvent      `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	}
+	if dropped > 0 {
+		doc.OtherData = map[string]string{"dropped_events": fmt.Sprint(dropped)}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return nil
+}

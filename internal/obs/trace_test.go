@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chromeEvent / chromeTrace mirror the trace-event schema the Chrome
+// viewers expect; decoding with DisallowUnknownFields makes the test a
+// schema check.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// decodeTrace round-trips a trace through WriteJSON and the schema check.
+func decodeTrace(t *testing.T, tr *Trace) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	dec := json.NewDecoder(&buf)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace JSON does not match the Chrome trace-event schema: %v", err)
+	}
+	return doc
+}
+
+func TestTraceSpanNesting(t *testing.T) {
+	o := New(Off, nil)
+	tr := NewTrace()
+	o.AttachTrace(tr)
+
+	parent := o.StartSpan("outer")
+	child := parent.Child("inner")
+	child.End()
+	parent.End()
+
+	doc := decodeTrace(t, tr)
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d ph = %q, want X", i, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d ts/dur negative: %+v", i, ev)
+		}
+		if ev.PID != 1 {
+			t.Fatalf("event %d pid = %d", i, ev.PID)
+		}
+		byName[ev.Name] = i
+	}
+	outer := doc.TraceEvents[byName["outer"]]
+	inner := doc.TraceEvents[byName["inner"]]
+	outerID, ok := outer.Args["id"].(float64)
+	if !ok || outerID == 0 {
+		t.Fatalf("outer args = %v, want nonzero id", outer.Args)
+	}
+	if _, has := outer.Args["parent"]; has {
+		t.Fatalf("root span carries a parent link: %v", outer.Args)
+	}
+	if p, ok := inner.Args["parent"].(float64); !ok || p != outerID {
+		t.Fatalf("inner parent = %v, want %v", inner.Args["parent"], outerID)
+	}
+	// The child completes inside the parent's window.
+	if inner.TS < outer.TS || inner.TS+inner.Dur > outer.TS+outer.Dur+1 {
+		t.Fatalf("child [%g, %g] escapes parent [%g, %g]",
+			inner.TS, inner.TS+inner.Dur, outer.TS, outer.TS+outer.Dur)
+	}
+}
+
+func TestTraceNilAndUnattached(t *testing.T) {
+	var tr *Trace
+	tr.Complete("x", "", 0, time.Now(), time.Second, nil) // must not panic
+	if tr.SpanID() != 0 || tr.Len() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	// Spans without an attached trace still time, just without events.
+	o := New(Off, nil)
+	sp := o.StartSpan("untraced")
+	sp.End()
+
+	// An empty trace still writes a valid document with an empty (not
+	// null) event list.
+	doc := decodeTrace(t, NewTrace())
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty trace events = %#v", doc.TraceEvents)
+	}
+}
+
+func TestTraceBufferBound(t *testing.T) {
+	tr := NewTrace()
+	now := time.Now()
+	for i := 0; i < maxTraceEvents+10; i++ {
+		tr.Complete("e", "", 0, now, 0, nil)
+	}
+	if tr.Len() != maxTraceEvents {
+		t.Fatalf("len = %d, want %d", tr.Len(), maxTraceEvents)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.Dropped())
+	}
+	doc := decodeTrace(t, tr)
+	if doc.OtherData["dropped_events"] != "10" {
+		t.Fatalf("otherData = %v", doc.OtherData)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"redcane/internal/core"
 	"redcane/internal/experiments"
 	"redcane/internal/obs"
 )
@@ -19,10 +20,10 @@ import (
 // artifacts to the corresponding CLI invocation with the same seed and
 // options fingerprint.
 const (
-	KindGroupSweep  = "group-sweep"  // methodology Steps 1–3 (Fig. 9/12)
-	KindLayerSweep  = "layer-sweep"  // Steps 1–5 (Fig. 10)
-	KindMethodology = "methodology"  // the full 6-step design run
-	KindValidate    = "validate"     // bit-accurate error-model validation
+	KindGroupSweep  = "group-sweep" // methodology Steps 1–3 (Fig. 9/12)
+	KindLayerSweep  = "layer-sweep" // Steps 1–5 (Fig. 10)
+	KindMethodology = "methodology" // the full 6-step design run
+	KindValidate    = "validate"    // bit-accurate error-model validation
 )
 
 // JobKinds lists the accepted job kinds.
@@ -50,6 +51,13 @@ type JobSpec struct {
 	// an overrides-free job byte-identical to the CLI experiment.
 	NMSweep []float64 `json:"nm_sweep,omitempty"`
 	NA      float64   `json:"na,omitempty"`
+	// Probes enables the numeric-health probes: per-layer activation
+	// statistics collected at every sweep point, served as the "probes"
+	// result format. Probing is inert — the text/CSV/JSON artifacts stay
+	// byte-identical — but roughly doubles evaluation cost, so it is
+	// off by default. It is a diagnostic knob, not a results-affecting
+	// one, and deliberately absent from the engine fingerprint.
+	Probes bool `json:"probes,omitempty"`
 }
 
 // normalize validates the spec in place, canonicalizing the kind and
@@ -118,13 +126,18 @@ type Artifacts struct {
 	CSV []byte
 	// JSON is the design-report JSON, when applicable (methodology jobs).
 	JSON []byte
+	// ProbesCSV / ProbesJSON are the numeric-health probe artifacts,
+	// present when the job asked for probes.
+	ProbesCSV  []byte
+	ProbesJSON []byte
 }
 
 // artifact file names under a job directory, by ?format= key.
 var artifactFiles = map[string]struct{ name, contentType string }{
-	"text": {"result.txt", "text/plain; charset=utf-8"},
-	"csv":  {"result.csv", "text/csv; charset=utf-8"},
-	"json": {"result.json", "application/json"},
+	"text":   {"result.txt", "text/plain; charset=utf-8"},
+	"csv":    {"result.csv", "text/csv; charset=utf-8"},
+	"json":   {"result.json", "application/json"},
+	"probes": {"probes.json", "application/json"},
 }
 
 // write persists the artifacts into the job directory.
@@ -139,6 +152,16 @@ func (a Artifacts) write(dir string) error {
 	}
 	if a.JSON != nil {
 		if err := os.WriteFile(filepath.Join(dir, "result.json"), a.JSON, 0o644); err != nil {
+			return err
+		}
+	}
+	if a.ProbesCSV != nil {
+		if err := os.WriteFile(filepath.Join(dir, "probes.csv"), a.ProbesCSV, 0o644); err != nil {
+			return err
+		}
+	}
+	if a.ProbesJSON != nil {
+		if err := os.WriteFile(filepath.Join(dir, "probes.json"), a.ProbesJSON, 0o644); err != nil {
 			return err
 		}
 	}
@@ -177,6 +200,10 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 	if spec.Seed != nil {
 		seed = *spec.Seed
 	}
+	var probes *core.ProbeSet
+	if spec.Probes {
+		probes = core.NewProbeSet()
+	}
 	r := experiments.NewRunner(experiments.Config{
 		Dir:           s.cfg.StateDir,
 		Quick:         s.cfg.Quick,
@@ -187,21 +214,27 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 		Checkpoint:    true,
 		CheckpointDir: jobDir,
 		TrainMu:       &s.trainMu,
+		Probes:        probes,
 	})
 	ov := experiments.Overrides{NMSweep: spec.NMSweep, NA: spec.NA}
+	var art Artifacts
 	switch spec.Kind {
 	case KindGroupSweep:
 		res, err := r.GroupSweep(b, ov)
 		if err != nil {
 			return Artifacts{}, err
 		}
-		return artifactsFor(res)
+		if art, err = artifactsFor(res); err != nil {
+			return Artifacts{}, err
+		}
 	case KindLayerSweep:
 		res, err := r.LayerSweep(b, ov)
 		if err != nil {
 			return Artifacts{}, err
 		}
-		return artifactsFor(res)
+		if art, err = artifactsFor(res); err != nil {
+			return Artifacts{}, err
+		}
 	case KindMethodology:
 		d, err := r.Design(b)
 		if err != nil {
@@ -211,13 +244,28 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 		if err := d.Report.WriteJSON(&buf); err != nil {
 			return Artifacts{}, err
 		}
-		return Artifacts{Text: d.Render(), JSON: buf.Bytes()}, nil
+		art = Artifacts{Text: d.Render(), JSON: buf.Bytes()}
 	case KindValidate:
 		res, err := r.Validate(b, spec.Backend, spec.Bits)
 		if err != nil {
 			return Artifacts{}, err
 		}
-		return artifactsFor(res)
+		if art, err = artifactsFor(res); err != nil {
+			return Artifacts{}, err
+		}
+	default:
+		return Artifacts{}, fmt.Errorf("unknown job kind %q", spec.Kind)
 	}
-	return Artifacts{}, fmt.Errorf("unknown job kind %q", spec.Kind)
+	if probes != nil {
+		var cbuf, jbuf bytes.Buffer
+		if err := probes.WriteCSV(&cbuf); err != nil {
+			return Artifacts{}, err
+		}
+		if err := probes.WriteJSON(&jbuf); err != nil {
+			return Artifacts{}, err
+		}
+		art.ProbesCSV = cbuf.Bytes()
+		art.ProbesJSON = jbuf.Bytes()
+	}
+	return art, nil
 }

@@ -130,6 +130,7 @@ type Server struct {
 	cfg     Config
 	obs     *obs.Obs
 	handler *serverHandler
+	started time.Time
 	// trainMu serializes benchmark training/loading across jobs sharing
 	// the weight cache.
 	trainMu sync.Mutex
@@ -163,7 +164,7 @@ func New(cfg Config) (*Server, error) {
 	if o == nil {
 		o = obs.New(obs.Off, nil) // metrics registry only
 	}
-	s := &Server{cfg: cfg, obs: o, jobs: map[string]*job{}}
+	s := &Server{cfg: cfg, obs: o, jobs: map[string]*job{}, started: time.Now()}
 	s.handler = newHandler(s)
 	if err := os.MkdirAll(s.jobsRoot(), 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -307,6 +308,10 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job) 
 		level = s.obs.Level()
 	}
 	o := obs.NewWithMetrics(level, obs.MultiSink(j.events, progressSink{s: s, j: j}), s.obs.Metrics())
+	tr := obs.NewTrace()
+	o.AttachTrace(tr)
+	m := s.obs.Metrics()
+	m.Timer("server.job.queue_wait").Observe(j.started.Sub(j.created))
 	o.Info("job started", obs.F("id", j.id), obs.F("kind", j.spec.Kind),
 		obs.F("benchmark", j.spec.Benchmark), obs.F("workers", s.jobWorkers()))
 
@@ -314,11 +319,16 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job) 
 	if run == nil {
 		run = s.runSpec
 	}
+	runStart := time.Now()
 	art, err := run(ctx, j.spec, j.dir, o)
+	m.Timer("server.job.run").Observe(time.Since(runStart))
 
 	var writeErr error
 	if err == nil {
 		writeErr = art.write(j.dir)
+	}
+	if terr := writeTrace(j.dir, tr); terr != nil {
+		o.Warn("job trace write failed", obs.F("id", j.id), obs.F("err", terr))
 	}
 
 	s.mu.Lock()
@@ -421,6 +431,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.obs.Info("drained")
 	return nil
+}
+
+// writeTrace persists a job's execution trace (Chrome trace-event JSON)
+// beside its artifacts, served by GET /v1/jobs/{id}/trace. A drained job
+// that reruns later simply overwrites it.
+func writeTrace(dir string, tr *obs.Trace) error {
+	f, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetricsSnapshot flushes the process metrics registry to

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"redcane/internal/obs"
+)
+
+func TestHealthzBody(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, spec JobSpec, jobDir string, o *obs.Obs) (Artifacts, error) {
+		select {
+		case <-release:
+			return Artifacts{Text: "ok"}, nil
+		case <-ctx.Done():
+			return Artifacts{}, ctx.Err()
+		}
+	}
+	s, err := New(Config{StateDir: t.TempDir(), Slots: 1, QueueCap: 4, RunJob: blocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var h Health
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if h.Status != "ok" || h.Slots != 1 || h.Running != 0 || h.QueueDepth != 0 {
+		t.Fatalf("idle health = %+v", h)
+	}
+	if h.UptimeS < 0 {
+		t.Fatalf("uptime_s = %g", h.UptimeS)
+	}
+
+	// One running job plus one queued behind the single slot.
+	first, _ := postJob(t, ts, `{"kind":"group-sweep"}`)
+	queued, _ := postJob(t, ts, `{"kind":"group-sweep"}`)
+	waitState(t, ts, first.ID, StateRunning)
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz under load: HTTP %d", code)
+	}
+	if h.Running != 1 || h.QueueDepth != 1 {
+		t.Fatalf("loaded health = %+v", h)
+	}
+
+	close(release)
+	waitState(t, ts, queued.ID, StateDone)
+
+	// Draining flips the status string along with the 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz drained: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("drained status = %q", h.Status)
+	}
+}
+
+func TestMetricszPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, instantRun(Artifacts{Text: "ok"}))
+
+	// Generate some per-route latency observations first.
+	getJSON(t, ts.URL+"/healthz", nil)
+	st, _ := postJob(t, ts, `{"kind":"group-sweep"}`)
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/metricsz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz prom: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+
+	// Every non-comment line must be `name[{labels}] value` with a legal
+	// metric name — the minimal well-formedness contract scrapers rely on.
+	nameOK := func(name string) bool {
+		for i, c := range name {
+			ok := c == '_' || c == ':' ||
+				c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+				c >= '0' && c <= '9' && i > 0
+			if !ok {
+				return false
+			}
+		}
+		return name != ""
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name := line[:i]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, line)
+			}
+			name = name[:j]
+		}
+		if !nameOK(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE runtime_goroutines gauge",
+		"# TYPE server_job_run_seconds histogram",
+		"server_job_run_seconds_bucket{le=\"+Inf\"}",
+		"server_job_run_seconds_sum",
+		"server_job_run_seconds_count",
+		"server_http_GET__healthz_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestJobTraceEndpoint(t *testing.T) {
+	release := make(chan struct{})
+	run := func(ctx context.Context, spec JobSpec, jobDir string, o *obs.Obs) (Artifacts, error) {
+		sp := o.StartSpan("stub.work")
+		defer sp.End()
+		select {
+		case <-release:
+			return Artifacts{Text: "ok"}, nil
+		case <-ctx.Done():
+			return Artifacts{}, ctx.Err()
+		}
+	}
+	_, ts := newTestServer(t, Config{}, run)
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/trace", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job trace: HTTP %d", code)
+	}
+
+	st, _ := postJob(t, ts, `{"kind":"group-sweep"}`)
+	waitState(t, ts, st.ID, StateRunning)
+	// The trace file lands when the run unwinds, not before.
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/trace", nil); code != http.StatusConflict {
+		t.Fatalf("trace before completion: HTTP %d", code)
+	}
+	close(release)
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event ph = %q, want X", ev.Ph)
+		}
+		if ev.Name == "stub.work" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stub span missing from trace: %+v", doc.TraceEvents)
+	}
+}
+
+func TestProbesArtifactFormat(t *testing.T) {
+	probesJSON := []byte(`{"sweeps":[{"label":"groups/mac","backend":"float"}]}`)
+	art := Artifacts{
+		Text:       "ok\n",
+		ProbesCSV:  []byte("sweep,backend\ngroups/mac,float\n"),
+		ProbesJSON: probesJSON,
+	}
+	_, ts := newTestServer(t, Config{}, instantRun(art))
+	st, _ := postJob(t, ts, `{"kind":"group-sweep","probes":true}`)
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=probes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(data) != string(probesJSON) {
+		t.Fatalf("probes artifact: HTTP %d, body %q", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("probes Content-Type = %q", ct)
+	}
+
+	// A job that did not record probes 404s for the format instead of
+	// serving an empty body.
+	_, ts2 := newTestServer(t, Config{}, instantRun(Artifacts{Text: "ok\n"}))
+	st2, _ := postJob(t, ts2, `{"kind":"group-sweep"}`)
+	waitState(t, ts2, st2.ID, StateDone)
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result?format=probes", nil); code != http.StatusNotFound {
+		t.Fatalf("missing probes artifact: HTTP %d", code)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"redcane/internal/obs"
 )
 
 // This file is the HTTP surface of the analysis service. The API is
@@ -19,9 +21,11 @@ import (
 //	GET    /v1/jobs/{id}        one job's status        → 200 JobStatus
 //	GET    /v1/jobs/{id}/events NDJSON event stream     → 200 (replay + live)
 //	GET    /v1/jobs/{id}/result artifact (?format=...)  → 200, 409 until done
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON → 200 once written
 //	DELETE /v1/jobs/{id}        cancel                  → 200 JobStatus
-//	GET    /healthz             liveness                → 200, 503 draining
-//	GET    /metricsz            process metrics snapshot
+//	GET    /healthz             liveness + queue depth  → 200, 503 draining
+//	GET    /metricsz            process metrics snapshot (JSON, or
+//	                            Prometheus text with ?format=prom)
 //
 // Error responses are {"error": "..."} with the usual status mapping:
 // 400 invalid spec, 404 unknown job, 409 result not ready, 429 queue
@@ -80,9 +84,44 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// ServeHTTP implements http.Handler.
+// Health is the GET /healthz body: liveness plus the load signals a
+// scheduler or dashboard wants without a full metrics scrape.
+type Health struct {
+	Status     string  `json:"status"` // "ok" or "draining"
+	QueueDepth int     `json:"queue_depth"`
+	Running    int     `json:"running"`
+	Slots      int     `json:"slots"`
+	UptimeS    float64 `json:"uptime_s"`
+}
+
+// Health snapshots the service's load state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	return Health{
+		Status:     status,
+		QueueDepth: len(s.pending),
+		Running:    s.running,
+		Slots:      s.cfg.Slots,
+		UptimeS:    time.Since(s.started).Seconds(),
+	}
+}
+
+// ServeHTTP implements http.Handler, timing every request into a
+// per-route histogram (server.http.<METHOD> <pattern>) so /metricsz can
+// report API latency percentiles.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_, pattern := s.handler.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	t0 := time.Now()
 	s.handler.mux.ServeHTTP(w, r)
+	s.obs.Metrics().Timer("server.http." + pattern).Observe(time.Since(t0))
 }
 
 // serverHandler routes the API onto the manager.
@@ -102,6 +141,7 @@ func newHandler(s *Server) *serverHandler {
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/trace", h.trace)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /metricsz", h.metricsz)
@@ -236,7 +276,7 @@ func (h *serverHandler) result(w http.ResponseWriter, r *http.Request) {
 	}
 	af, ok := artifactFiles[format]
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "unknown format %q (valid: text, csv, json)", format)
+		writeErr(w, http.StatusBadRequest, "unknown format %q (valid: text, csv, json, probes)", format)
 		return
 	}
 	data, err := os.ReadFile(filepath.Join(h.s.jobsRoot(), id, af.name))
@@ -263,16 +303,50 @@ func (h *serverHandler) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (h *serverHandler) healthz(w http.ResponseWriter, r *http.Request) {
-	if h.s.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, "draining")
+// trace serves a job's execution trace, written when the job run
+// unwinds; load it in chrome://tracing or Perfetto.
+func (h *serverHandler) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := h.s.Status(id); !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (h *serverHandler) metricsz(w http.ResponseWriter, r *http.Request) {
+	data, err := os.ReadFile(filepath.Join(h.s.jobsRoot(), id, "trace.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		writeErr(w, http.StatusConflict, "job %s has no trace yet", id)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	h.s.obs.Metrics().Snapshot().WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+	w.Write(data) //nolint:errcheck // client gone; nothing to do
+}
+
+func (h *serverHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	hs := h.s.Health()
+	code := http.StatusOK
+	if hs.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, hs)
+}
+
+// metricsz snapshots the process metrics registry, sampling the runtime
+// gauges (goroutines, heap, GC) first. ?format=prom switches from the
+// JSON snapshot to Prometheus text exposition for scrapers.
+func (h *serverHandler) metricsz(w http.ResponseWriter, r *http.Request) {
+	m := h.s.obs.Metrics()
+	obs.SampleRuntime(m)
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		m.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	m.Snapshot().WriteJSON(w) //nolint:errcheck // client gone; nothing to do
 }

@@ -1,5 +1,7 @@
 package tensor
 
+import "sync/atomic"
+
 // Scratch is a grow-only arena of reusable float64 buffers for the
 // convolution kernels. Repeated forward passes (the ReD-CaNe noise sweeps
 // re-run inference thousands of times) spend a measurable fraction of
@@ -14,10 +16,14 @@ package tensor
 // A Scratch is NOT safe for concurrent use; give each worker goroutine
 // its own.
 type Scratch struct {
+	id      int64
 	free    map[int][][]float64
 	freeU16 map[int][][]uint16
 	stats   ScratchStats
 }
+
+// scratchSeq hands out process-unique arena IDs.
+var scratchSeq atomic.Int64
 
 // ScratchStats tallies an arena's traffic: how many buffer requests were
 // served from the free list versus freshly allocated, and how many bytes
@@ -46,9 +52,20 @@ func (a ScratchStats) Plus(b ScratchStats) ScratchStats {
 // NewScratch returns an empty arena.
 func NewScratch() *Scratch {
 	return &Scratch{
+		id:      scratchSeq.Add(1),
 		free:    make(map[int][][]float64),
 		freeU16: make(map[int][][]uint16),
 	}
+}
+
+// ID returns the arena's process-unique identifier (0 for a nil
+// Scratch). Arenas are per-worker, so the ID doubles as a stable lane
+// key for trace timelines.
+func (s *Scratch) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Stats returns the arena's traffic tallies (zero for a nil Scratch).
