@@ -330,7 +330,11 @@ commands:
   energy                    table1 + fig4 + fig5
   serve                     HTTP/JSON analysis job service over -dir; jobs
                             checkpoint and resume across restarts
-                            (serve flags: -addr :8080, -queue 16, -slots 2)
+                            (serve flags: -addr :8080, -queue 16, -slots 2,
+                            -lease-ttl 30s for distributed sweep leases)
+  worker                    join a coordinator's fleet and evaluate leased
+                            sweep windows (worker flags: -join URL required,
+                            -name worker-<pid>, -poll 500ms)
   list                      benchmarks and experiment ids
 
 flags:
@@ -362,7 +366,7 @@ flags:
 exit codes:
   0 success, 1 error, 2 usage, 130 interrupted (SIGINT/SIGTERM stops at
   the next batch boundary; a second signal kills immediately; serve
-  drains gracefully and exits 0)`)
+  drains gracefully and exits 0; worker leaves the fleet and exits 0)`)
 }
 
 // cli bundles the runner with output options.
@@ -395,7 +399,7 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 		}
 		return c.runExperiments(w, args[0])
 	case "design", "refine":
-		b := experiments.Benchmarks[4]
+		b := experiments.DefaultBenchmark
 		if len(args) == 1 {
 			var err error
 			if b, err = experiments.FindBenchmark(args[0]); err != nil {
@@ -436,7 +440,7 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 		}
 		return nil
 	case "validate":
-		b := experiments.Benchmarks[4]
+		b := experiments.DefaultBenchmark
 		if len(args) == 1 {
 			var err error
 			if b, err = experiments.FindBenchmark(args[0]); err != nil {
@@ -467,6 +471,8 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 		return nil
 	case "serve":
 		return c.serve(w, args)
+	case "worker":
+		return c.worker(w, args)
 	case "list":
 		fmt.Fprintln(w, "benchmarks:")
 		for _, b := range experiments.Benchmarks {
@@ -496,6 +502,8 @@ func (c *cli) serve(w io.Writer, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	queue := fs.Int("queue", 16, "max queued jobs before submissions get 429")
 	slots := fs.Int("slots", 2, "jobs running concurrently (each gets -workers/-slots goroutines)")
+	leaseTTL := fs.Duration("lease-ttl", server.DefaultLeaseTTL,
+		"fleet lease lifetime before an unrenewed window is re-issued")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -505,6 +513,7 @@ func (c *cli) serve(w io.Writer, args []string) error {
 	srv, err := server.New(server.Config{
 		StateDir: c.cfg.Dir, Quick: c.cfg.Quick, Seed: c.cfg.Seed,
 		Workers: c.cfg.Workers, Slots: *slots, QueueCap: *queue, Obs: c.obs,
+		LeaseTTL: *leaseTTL,
 	})
 	if err != nil {
 		return err
@@ -540,6 +549,41 @@ func (c *cli) serve(w io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprintln(w, "redcane serve drained cleanly")
+	return nil
+}
+
+// worker joins a coordinator's fleet and evaluates leased sweep windows
+// until the run context is cancelled (SIGINT/SIGTERM), which is the clean
+// way to leave: any window in flight is abandoned and the coordinator
+// re-issues it when the lease expires, so results stay byte-identical.
+func (c *cli) worker(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	join := fs.String("join", "", "coordinator base URL (required), e.g. http://host:8080")
+	name := fs.String("name", "", "worker name reported to the coordinator (default worker-<pid>)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval when no work is leased")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("worker takes no arguments, got %q", fs.Args())
+	}
+	if *join == "" {
+		return fmt.Errorf("worker requires -join with the coordinator base URL")
+	}
+	wk := &server.Worker{
+		Base: strings.TrimRight(*join, "/"),
+		Name: *name,
+		Poll: *poll,
+		Obs:  c.obs,
+		// nil quick override: trust the sweep's recorded mode so a worker
+		// started without -quick can still serve a -quick coordinator.
+		Resolve: server.ExperimentResolver(c.cfg.Dir, nil, c.cfg.Workers, c.obs),
+	}
+	fmt.Fprintf(w, "redcane worker joining %s (cache: %s)\n", wk.Base, c.cfg.Dir)
+	if err := wk.Run(c.ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	fmt.Fprintln(w, "redcane worker left the fleet")
 	return nil
 }
 
@@ -605,13 +649,13 @@ func experimentTable() []experimentEntry {
 		resultEntry("ablation-na", true, func(c *cli) (renderer, error) { return c.runner.AblationNoiseAverage() }),
 		resultEntry("ablation-faults", true, func(c *cli) (renderer, error) { return c.runner.AblationFaultTypes() }),
 		resultEntry("ablation-selection", true, func(c *cli) (renderer, error) {
-			return c.runner.AblationSelectionStrategy(experiments.Benchmarks[4])
+			return c.runner.AblationSelectionStrategy(experiments.DefaultBenchmark)
 		}),
 		resultEntry("ablation-range", true, func(c *cli) (renderer, error) {
-			return c.runner.AblationRangeEstimator(experiments.Benchmarks[4])
+			return c.runner.AblationRangeEstimator(experiments.DefaultBenchmark)
 		}),
 		resultEntry("stability", true, func(c *cli) (renderer, error) {
-			return c.runner.Stability(experiments.Benchmarks[4], 5)
+			return c.runner.Stability(experiments.DefaultBenchmark, 5)
 		}),
 		resultEntry("accel", true, func(c *cli) (renderer, error) { return experiments.Accel() }),
 		// validate used to be reachable only as a command, so `experiment
@@ -621,7 +665,7 @@ func experimentTable() []experimentEntry {
 			if backend == "" {
 				backend = "quant-approx"
 			}
-			return c.runner.Validate(experiments.Benchmarks[4], backend, c.bits)
+			return c.runner.Validate(experiments.DefaultBenchmark, backend, c.bits)
 		}),
 	}
 	for _, b := range experiments.Benchmarks {

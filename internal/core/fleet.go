@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"redcane/internal/noise"
+	"redcane/internal/obs"
+)
+
+// This file is the engine's distribution seam. A sweep is a pure fold of
+// integer correct-counts over (point, trial, batch) jobs whose noise is a
+// counter-seeded function of (Options.Seed, seedBase, point, trial,
+// batch) — no state flows between jobs — so any process that can rebuild
+// the network and evaluation split can compute any batch window's counts
+// bit-identically. The Fleet interface hands contiguous batch windows to
+// such remote processes and streams their per-(point, trial) counts
+// back; the coordinator folds them in ascending window order through the
+// same checkpointed accumulator the local loop uses, which is what makes
+// an N-worker fleet's artifacts byte-identical to a single-process run.
+
+// SweepScope names a sweep's site filter in wire-friendly form: the
+// Table III group plus, for layer-wise sweeps, the layer. It is the
+// serializable counterpart of noise.ForGroup / noise.ForLayerGroup —
+// closures cannot cross a process boundary, scopes can.
+type SweepScope struct {
+	Group string `json:"group"`
+	Layer string `json:"layer,omitempty"`
+}
+
+// ScopeForGroup names a group-wise sweep's filter.
+func ScopeForGroup(g noise.Group) SweepScope {
+	return SweepScope{Group: g.String()}
+}
+
+// ScopeForLayer names a layer-wise sweep's filter.
+func ScopeForLayer(layer string, g noise.Group) SweepScope {
+	return SweepScope{Group: g.String(), Layer: layer}
+}
+
+// Filter resolves the scope back to the site filter it names.
+func (s SweepScope) Filter() (noise.Filter, error) {
+	g, ok := groupByName(s.Group)
+	if !ok {
+		return nil, fmt.Errorf("sweep scope names unknown group %q", s.Group)
+	}
+	if s.Layer != "" {
+		return noise.ForLayerGroup(s.Layer, g), nil
+	}
+	return noise.ForGroup(g), nil
+}
+
+// String renders the scope for logs and metrics labels.
+func (s SweepScope) String() string {
+	if s.Layer != "" {
+		return s.Layer + "/" + s.Group
+	}
+	return s.Group
+}
+
+// SweepJob describes one sweep for remote execution. Everything a worker
+// needs to reproduce a window bit-identically travels here: the scope,
+// the seed namespace, and the results-affecting options. Evals and NB are
+// the coordinator's view of the evaluation grid; workers recompute both
+// and refuse mismatches, which catches drift (different dataset size,
+// options, or code) before a wrong count is folded.
+type SweepJob struct {
+	// Key is the sweep's checkpoint key ("sweep-<seedBase>"), unique
+	// within one analysis.
+	Key string `json:"key"`
+	// SeedBase namespaces the sweep's RNG streams (noise.StreamSeed).
+	SeedBase uint64 `json:"seed_base"`
+	Scope    SweepScope `json:"scope"`
+	Opts     Options    `json:"opts"`
+	// Evals is the number of noisy (point, trial) evaluations; every
+	// window result carries exactly this many counts.
+	Evals int `json:"evals"`
+	// NB is the total batch count of the evaluation split.
+	NB int `json:"nb"`
+	// Window is the lease granularity in batches (>= 1).
+	Window int `json:"window"`
+}
+
+// WindowResult is one completed batch window [B0, B1): the per-(point,
+// trial) correct counts summed over the window's batches, in the
+// canonical sweepEvals order.
+type WindowResult struct {
+	B0      int   `json:"b0"`
+	B1      int   `json:"b1"`
+	Correct []int `json:"correct"`
+}
+
+// Fleet distributes a sweep's batch windows to remote executors.
+// RunSweep must deliver every window of [start, job.NB) exactly once, in
+// any order, then close the channel; when ctx is cancelled it may close
+// the channel early. The coordinator owns ordering and folding — a Fleet
+// only moves windows out and counts back.
+type Fleet interface {
+	RunSweep(ctx context.Context, job SweepJob, start int) (<-chan WindowResult, error)
+}
+
+// EvalWindow is the worker-side entry point of distributed sweeps: it
+// evaluates every (point, trial) job of the batch window [b0, b1) and
+// returns the per-(point, trial) correct counts summed over the window's
+// batches — the exact integers the local engine folds, computed by the
+// same windowJobs path, so a fleet fold is bit-identical to a
+// single-process run.
+func (a *Analyzer) EvalWindow(ctx context.Context, scope SweepScope, seedBase uint64, b0, b1 int) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a.Opts = a.Opts.WithDefaults()
+	o := a.Opts
+	filter, err := scope.Filter()
+	if err != nil {
+		return nil, err
+	}
+	x, y := a.evalData()
+	n := x.Shape[0]
+	nb := (n + o.Batch - 1) / o.Batch
+	if b0 < 0 || b1 <= b0 || b1 > nb {
+		return nil, fmt.Errorf("window [%d, %d) out of range (nb=%d)", b0, b1, nb)
+	}
+	frontier := a.Net.InjectionFrontier(filter)
+	evals := sweepEvals(o)
+	jobCorrect, _, err := a.windowJobs(ctx, filter, evals, x, y, frontier, seedBase, b0, b1, nb, false)
+	if err != nil {
+		return nil, err
+	}
+	nbw := b1 - b0
+	out := make([]int, len(evals))
+	for j, c := range jobCorrect {
+		out[j/nbw] += c
+	}
+	return out, nil
+}
+
+// SweepGrid returns the coordinator's view of a sweep's work grid under
+// the analyzer's options: the number of noisy (point, trial) evaluations
+// and the total batch count. Workers recompute the same pair as a drift
+// guard.
+func (a *Analyzer) SweepGrid() (evals, nb int) {
+	o := a.Opts.WithDefaults()
+	x, _ := a.evalData()
+	n := x.Shape[0]
+	return len(sweepEvals(o)), (n + o.Batch - 1) / o.Batch
+}
+
+// sweepScoped runs one named sweep: through the fleet when the analyzer
+// has one, locally otherwise. The filter-based sweep entry points are
+// untouched — only the named group/layer sweeps of the methodology can
+// be distributed, because only they have wire-representable scopes.
+func (a *Analyzer) sweepScoped(ctx context.Context, scope SweepScope, clean float64, seedBase uint64) ([]SweepPoint, error) {
+	filter, err := scope.Filter()
+	if err != nil {
+		return nil, err
+	}
+	if a.Fleet == nil {
+		return a.sweep(ctx, filter, clean, seedBase)
+	}
+	return a.sweepFleet(ctx, scope, clean, seedBase)
+}
+
+// sweepFleet is the coordinator side of a distributed sweep. It reuses
+// the local path's checkpoint format and key ("sweep-<seedBase>", prefix
+// of completed batches): windows may complete out of order, so results
+// are buffered and folded in ascending window order, each contiguous
+// prefix extension checkpointed exactly as the local loop would — a
+// coordinator restart resumes after the last contiguous window, and a
+// fleet run can resume a local checkpoint (and vice versa).
+func (a *Analyzer) sweepFleet(ctx context.Context, scope SweepScope, clean float64, seedBase uint64) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := a.Opts
+	x, _ := a.evalData()
+	n := x.Shape[0]
+	nb := (n + o.Batch - 1) / o.Batch
+	evals := sweepEvals(o)
+	correct := make([]int, len(evals))
+	if a.Probes != nil {
+		// Probe recorders live on the workers' passes and never travel the
+		// wire; a distributed sweep records no probe stats.
+		a.Obs.Warn("probes are not collected over a fleet", obs.F("sweep", scope.String()))
+	}
+
+	ckey := fmt.Sprintf("sweep-%d", seedBase)
+	startBatch := 0
+	if a.Checkpoint != nil {
+		var st sweepState
+		if a.Checkpoint.Get(ckey, &st) && len(st.Correct) == len(evals) &&
+			st.BatchesDone >= 0 && st.BatchesDone <= nb {
+			copy(correct, st.Correct)
+			startBatch = st.BatchesDone
+			if st.Done {
+				startBatch = nb
+			}
+			a.Obs.Info("fleet sweep resumed from checkpoint",
+				obs.F("sweep", ckey),
+				obs.F("batches", fmt.Sprintf("%d/%d", startBatch, nb)))
+		}
+	}
+
+	if startBatch < nb {
+		job := SweepJob{
+			Key: ckey, SeedBase: seedBase, Scope: scope,
+			Opts: o, Evals: len(evals), NB: nb, Window: 1,
+		}
+		start := time.Now()
+		a.Obs.Counter("sweep.sweeps").Inc()
+		a.Obs.Info("sweep distributed to fleet",
+			obs.F("sweep", ckey), obs.F("scope", scope.String()),
+			obs.F("windows", nb-startBatch), obs.F("evals", len(evals)))
+		ch, err := a.Fleet.RunSweep(ctx, job, startBatch)
+		if err != nil {
+			return nil, err
+		}
+		// Fold in ascending window order, buffering early arrivals, so the
+		// checkpoint is always a contiguous batch prefix.
+		pending := map[int]WindowResult{}
+		next := startBatch
+		for res := range ch {
+			if len(res.Correct) != len(evals) {
+				return nil, fmt.Errorf("fleet window [%d, %d) returned %d counts, want %d",
+					res.B0, res.B1, len(res.Correct), len(evals))
+			}
+			pending[res.B0] = res
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				for i, c := range r.Correct {
+					correct[i] += c
+				}
+				next = r.B1
+				if a.Checkpoint != nil {
+					a.checkpointPut(ckey, sweepState{Correct: correct, BatchesDone: next, Done: next == nb})
+				}
+				if a.afterWindow != nil {
+					a.afterWindow(next, nb)
+				}
+			}
+		}
+		if next < nb {
+			// The fleet closed the channel short of the full grid — the
+			// sweep was cancelled (coordinator drain/shutdown) or the fleet
+			// failed; the checkpoint holds the folded prefix either way.
+			if err := ctx.Err(); err != nil {
+				a.Obs.Warn("fleet sweep cancelled",
+					obs.F("sweep", ckey),
+					obs.F("batches", fmt.Sprintf("%d/%d", next, nb)))
+				return nil, err
+			}
+			return nil, fmt.Errorf("fleet sweep %s incomplete: %d/%d batches folded", ckey, next, nb)
+		}
+		dur := time.Since(start)
+		a.Obs.Timer("sweep.duration").Observe(dur)
+		a.Obs.Debug("fleet sweep complete",
+			obs.F("sweep", ckey), obs.F("windows", nb-startBatch),
+			obs.F("dur", dur.Round(time.Millisecond)))
+	}
+
+	return assemblePoints(o, correct, clean, n), nil
+}

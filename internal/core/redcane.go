@@ -228,6 +228,14 @@ type Analyzer struct {
 	// record; the analysis steps set it per scope ("groups/<group>",
 	// "layers/<layer>/<group>"). Empty falls back to a derived label.
 	ProbeLabel string
+	// Fleet, when non-nil, distributes the named group/layer sweeps of
+	// the methodology as leased batch windows instead of running them on
+	// this process's worker pool. Results are byte-identical either way:
+	// workers compute the same counter-seeded integer counts the local
+	// loop would, and the coordinator folds them in ascending window
+	// order through the same checkpoint. A nil Fleet keeps every sweep
+	// local.
+	Fleet Fleet
 
 	sites  map[noise.Group][]noise.Site // Step 1 cache
 	pcache *prefixCache                 // sweep engine's whole-set clean-prefix cache
@@ -398,7 +406,7 @@ func (a *Analyzer) AnalyzeGroups(ctx context.Context, clean float64) ([]GroupRes
 			continue
 		}
 		a.ProbeLabel = "groups/" + g.String()
-		pts, err := a.sweep(ctx, noise.ForGroup(g), clean, uint64(gi)*100000)
+		pts, err := a.sweepScoped(ctx, ScopeForGroup(g), clean, uint64(gi)*100000)
 		if err != nil {
 			return nil, fmt.Errorf("group sweep %s: %w", g, err)
 		}
@@ -477,7 +485,7 @@ func (a *Analyzer) AnalyzeLayers(ctx context.Context, groups []GroupResult, clea
 		start := len(out)
 		for li, site := range sitesByGroup[gr.Group] {
 			a.ProbeLabel = "layers/" + site.Layer + "/" + gr.Group.String()
-			pts, err := a.sweep(ctx, noise.ForLayerGroup(site.Layer, gr.Group), clean,
+			pts, err := a.sweepScoped(ctx, ScopeForLayer(site.Layer, gr.Group), clean,
 				uint64(gi+1)*10000000+uint64(li)*100000)
 			if err != nil {
 				return nil, fmt.Errorf("layer sweep %s/%s: %w", site.Layer, gr.Group, err)

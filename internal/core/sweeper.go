@@ -371,18 +371,7 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 	nb := (n + o.Batch - 1) / o.Batch
 	frontier := a.Net.InjectionFrontier(filter)
 
-	// Enumerate the (point, trial) evaluations; NM = 0 is the clean point.
-	type eval struct{ pi, trial int }
-	var evals []eval
-	for pi, nm := range o.NMSweep {
-		if nm == 0 {
-			continue
-		}
-		for trial := 0; trial < o.Trials; trial++ {
-			evals = append(evals, eval{pi, trial})
-		}
-	}
-
+	evals := sweepEvals(o)
 	correct := make([]int, len(evals)) // per (point, trial), summed over batches
 	totalJobs := len(evals) * nb
 
@@ -441,62 +430,17 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 			b1 = nb
 		}
 		tw0 := time.Now()
-		acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, caps.Float{})
+		jobCorrect, jobProbes, err := a.windowJobs(ctx, filter, evals, x, y, frontier, seedBase, b0, b1, nb, probing)
 		if err != nil {
+			var jp *JobPanicError
+			if !errors.As(err, &jp) {
+				a.Obs.Warn("sweep cancelled",
+					obs.F("sweep", ckey),
+					obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
+			}
 			return nil, err
 		}
-
-		// One job per (point, trial, batch); each job owns its result slot.
 		nbw := b1 - b0
-		jobCorrect := make([]int, len(evals)*nbw)
-		var jobProbes []*caps.ProbeRecorder
-		if probing {
-			jobProbes = make([]*caps.ProbeRecorder, len(jobCorrect))
-		}
-		err = runJobs(ctx, a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
-			e := evals[j/nbw]
-			bi := b0 + j%nbw
-			nm := o.NMSweep[e.pi]
-			seed := noise.StreamSeed(o.Seed, seedBase, uint64(e.pi), uint64(e.trial), uint64(bi))
-			inj := noise.NewGaussian(nm, o.NA, filter, seed)
-			var pred []int
-			if probing {
-				// Reference pass: the clean suffix, recorded at the Backend
-				// seam. noise.None draws nothing from inj, and the kernels
-				// write scratch buffers before reading them, so the extra
-				// pass cannot perturb the result pass below.
-				rec := caps.NewProbeRecorder()
-				rec.StartReference()
-				a.Net.ClassifyFromExec(frontier, acts[bi-b0], noise.None{}, s, caps.NewProbeBackend(caps.Float{}, rec))
-				rec.StartObserve()
-				pred = a.Net.ClassifyFromExec(frontier, acts[bi-b0], inj, s, caps.NewProbeBackend(caps.Float{}, rec))
-				jobProbes[j] = rec
-			} else {
-				pred = a.Net.ClassifyFrom(frontier, acts[bi-b0], inj, s)
-			}
-			lo := bi * o.Batch
-			c := 0
-			for i, p := range pred {
-				if p == y[lo+i] {
-					c++
-				}
-			}
-			jobCorrect[j] = c
-		})
-		if err != nil {
-			var wp *workerPanic
-			if errors.As(err, &wp) {
-				e := evals[wp.Job/nbw]
-				return nil, &JobPanicError{
-					Point: e.pi, NM: o.NMSweep[e.pi], Trial: e.trial, Batch: b0 + wp.Job%nbw,
-					Value: wp.Value, Stack: wp.Stack,
-				}
-			}
-			a.Obs.Warn("sweep cancelled",
-				obs.F("sweep", ckey),
-				obs.F("batches", fmt.Sprintf("%d/%d", b0, nb)))
-			return nil, err
-		}
 		// Merge in ascending job order: correct-counts, the value-domain
 		// job-correct histogram (integer observations, so bucket counts
 		// and sum are scheduling-invariant), and the probe stats.
@@ -574,6 +518,96 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		}
 	}
 
+	return assemblePoints(o, correct, clean, n), nil
+}
+
+// evalIdx names one noisy (point, trial) evaluation of a sweep; NM = 0 is
+// the clean point and is never enumerated.
+type evalIdx struct{ pi, trial int }
+
+// sweepEvals enumerates the (point, trial) evaluations of one sweep in
+// the canonical order every fold path assumes: ascending point index,
+// then ascending trial.
+func sweepEvals(o Options) []evalIdx {
+	var evals []evalIdx
+	for pi, nm := range o.NMSweep {
+		if nm == 0 {
+			continue
+		}
+		for trial := 0; trial < o.Trials; trial++ {
+			evals = append(evals, evalIdx{pi, trial})
+		}
+	}
+	return evals
+}
+
+// windowJobs evaluates every (point, trial) × batch job of the batch
+// window [b0, b1): the per-job correct counts (eval-major, batch-minor)
+// plus, when probing, the per-job probe recorders. This is the one code
+// path that turns a window into counts — the local sweep loop and the
+// worker-side EvalWindow both call it, which is what makes a leased
+// window's counts bit-identical to the in-process ones.
+func (a *Analyzer) windowJobs(ctx context.Context, filter noise.Filter, evals []evalIdx, x *tensor.Tensor, y []int, frontier int, seedBase uint64, b0, b1, nb int, probing bool) ([]int, []*caps.ProbeRecorder, error) {
+	o := a.Opts
+	acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, caps.Float{})
+	if err != nil {
+		return nil, nil, err
+	}
+	// One job per (point, trial, batch); each job owns its result slot.
+	nbw := b1 - b0
+	jobCorrect := make([]int, len(evals)*nbw)
+	var jobProbes []*caps.ProbeRecorder
+	if probing {
+		jobProbes = make([]*caps.ProbeRecorder, len(jobCorrect))
+	}
+	err = runJobs(ctx, a.Obs, o.sweepWorkers(), len(jobCorrect), func(j int, s *tensor.Scratch) {
+		e := evals[j/nbw]
+		bi := b0 + j%nbw
+		nm := o.NMSweep[e.pi]
+		seed := noise.StreamSeed(o.Seed, seedBase, uint64(e.pi), uint64(e.trial), uint64(bi))
+		inj := noise.NewGaussian(nm, o.NA, filter, seed)
+		var pred []int
+		if probing {
+			// Reference pass: the clean suffix, recorded at the Backend
+			// seam. noise.None draws nothing from inj, and the kernels
+			// write scratch buffers before reading them, so the extra
+			// pass cannot perturb the result pass below.
+			rec := caps.NewProbeRecorder()
+			rec.StartReference()
+			a.Net.ClassifyFromExec(frontier, acts[bi-b0], noise.None{}, s, caps.NewProbeBackend(caps.Float{}, rec))
+			rec.StartObserve()
+			pred = a.Net.ClassifyFromExec(frontier, acts[bi-b0], inj, s, caps.NewProbeBackend(caps.Float{}, rec))
+			jobProbes[j] = rec
+		} else {
+			pred = a.Net.ClassifyFrom(frontier, acts[bi-b0], inj, s)
+		}
+		lo := bi * o.Batch
+		c := 0
+		for i, p := range pred {
+			if p == y[lo+i] {
+				c++
+			}
+		}
+		jobCorrect[j] = c
+	})
+	if err != nil {
+		var wp *workerPanic
+		if errors.As(err, &wp) {
+			e := evals[wp.Job/nbw]
+			return nil, nil, &JobPanicError{
+				Point: e.pi, NM: o.NMSweep[e.pi], Trial: e.trial, Batch: b0 + wp.Job%nbw,
+				Value: wp.Value, Stack: wp.Stack,
+			}
+		}
+		return nil, nil, err
+	}
+	return jobCorrect, jobProbes, nil
+}
+
+// assemblePoints turns the folded per-(point, trial) correct counts into
+// the sweep's points. Shared by the local and fleet sweep paths so a
+// distributed sweep's report is assembled by exactly the in-process code.
+func assemblePoints(o Options, correct []int, clean float64, n int) []SweepPoint {
 	points := make([]SweepPoint, len(o.NMSweep))
 	ei := 0
 	for pi, nm := range o.NMSweep {
@@ -588,5 +622,5 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		}
 		points[pi] = SweepPoint{NM: nm, Accuracy: acc, Drop: acc - clean}
 	}
-	return points, nil
+	return points
 }

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// The default benchmark was once spelled Benchmarks[4] — a magic index
+// that silently changes meaning whenever the table is reordered. The
+// named default must stay pinned to the CapsNet/MNIST-like entry every
+// defaulting path (CLI commands, server job specs) relies on.
+func TestDefaultBenchmarkIsCapsnetMNISTLike(t *testing.T) {
+	if got := DefaultBenchmark.Key(); got != "capsnet-mnist-like" {
+		t.Fatalf("DefaultBenchmark = %q, want capsnet-mnist-like", got)
+	}
+	b, err := FindBenchmark(DefaultBenchmark.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != DefaultBenchmark {
+		t.Fatalf("FindBenchmark(%q) = %+v, differs from DefaultBenchmark %+v",
+			DefaultBenchmark.Key(), b, DefaultBenchmark)
+	}
+}

@@ -137,6 +137,7 @@ func (r *Runner) GroupSweep(b Benchmark, ov Overrides) (*GroupSweepResult, error
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
 		Probes:     r.Cfg.Probes,
+		Fleet:      r.Cfg.Fleet,
 	}
 	ctx := r.ctx()
 	clean, err := a.CleanAccuracyCtx(ctx)
@@ -255,6 +256,7 @@ func (r *Runner) LayerSweep(b Benchmark, ov Overrides) (*Fig10Result, error) {
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
 		Probes:     r.Cfg.Probes,
+		Fleet:      r.Cfg.Fleet,
 	}
 	ctx := r.ctx()
 	clean, err := a.CleanAccuracyCtx(ctx)
@@ -328,6 +330,7 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
 		Probes:     r.Cfg.Probes,
+		Fleet:      r.Cfg.Fleet,
 	}
 	report, err := a.RunMethodology(r.ctx(), profiles)
 	if err != nil {

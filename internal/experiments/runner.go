@@ -75,6 +75,11 @@ type Config struct {
 	// one runner at a time trains or loads, so two jobs never race to
 	// write the same cache file or redundantly train the same benchmark.
 	TrainMu *sync.Mutex
+	// Fleet, when non-nil, distributes the group/layer sweeps of the
+	// sweep and methodology entry points to remote workers instead of the
+	// local pool (core.Analyzer.Fleet). Results are byte-identical either
+	// way; a nil Fleet keeps everything in-process.
+	Fleet core.Fleet
 }
 
 // Benchmark is one (architecture, dataset) pair of the paper's Table II.
@@ -96,6 +101,20 @@ var Benchmarks = []Benchmark{
 	{Arch: "deepcaps", Dataset: "mnist-like", PaperAccuracy: 99.72},
 	{Arch: "capsnet", Dataset: "fashion-like", PaperAccuracy: 92.88},
 	{Arch: "capsnet", Dataset: "mnist-like", PaperAccuracy: 99.67},
+}
+
+// DefaultBenchmark is the benchmark used when a job or CLI command names
+// none: CapsNet on the MNIST-like dataset, the paper's primary case
+// study. Resolved by key at init, not by slice index, so reordering or
+// extending Benchmarks can never silently change the default.
+var DefaultBenchmark = mustBenchmark("capsnet-mnist-like")
+
+func mustBenchmark(key string) Benchmark {
+	b, err := FindBenchmark(key)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // BenchmarkKeys lists the benchmark keys in Table II order.

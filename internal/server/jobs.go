@@ -58,6 +58,13 @@ type JobSpec struct {
 	// off by default. It is a diagnostic knob, not a results-affecting
 	// one, and deliberately absent from the engine fingerprint.
 	Probes bool `json:"probes,omitempty"`
+	// Distributed runs the job's sweeps over the worker fleet: windows
+	// are leased to `redcane worker` processes instead of the local pool.
+	// Artifacts are byte-identical either way, so this too is a
+	// scheduling knob, absent from the engine fingerprint. Rejected for
+	// validate jobs (no sweeps to distribute) and with probes (probe
+	// stats never travel the wire).
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // normalize validates the spec in place, canonicalizing the kind and
@@ -75,7 +82,7 @@ func (spec *JobSpec) normalize() error {
 		return fmt.Errorf("unknown job kind %q (valid: %s)", spec.Kind, strings.Join(JobKinds, ", "))
 	}
 	if spec.Benchmark == "" {
-		spec.Benchmark = experiments.Benchmarks[4].Key()
+		spec.Benchmark = experiments.DefaultBenchmark.Key()
 	}
 	b, err := experiments.FindBenchmark(spec.Benchmark)
 	if err != nil {
@@ -86,9 +93,26 @@ func (spec *JobSpec) normalize() error {
 		if math.IsNaN(nm) || math.IsInf(nm, 0) {
 			return fmt.Errorf("nm_sweep contains non-finite value %v", nm)
 		}
+		if nm < 0 {
+			// The CLI's Options.WithDefaults silently drops negative grid
+			// entries; a job submission naming one is a mistake worth a 400,
+			// not a silently smaller grid.
+			return fmt.Errorf("nm_sweep contains negative value %v (noise magnitudes are >= 0)", nm)
+		}
 	}
 	if math.IsNaN(spec.NA) || math.IsInf(spec.NA, 0) {
 		return fmt.Errorf("na is not finite")
+	}
+	if spec.NA < 0 {
+		return fmt.Errorf("na = %v is negative (noise averages are >= 0)", spec.NA)
+	}
+	if spec.Distributed {
+		if spec.Kind == KindValidate {
+			return fmt.Errorf("distributed applies only to sweep and methodology jobs")
+		}
+		if spec.Probes {
+			return fmt.Errorf("probes cannot be collected over a distributed fleet")
+		}
 	}
 	if spec.Kind == KindValidate {
 		if spec.Backend == "" {
@@ -204,6 +228,10 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 	if spec.Probes {
 		probes = core.NewProbeSet()
 	}
+	var fleet core.Fleet
+	if spec.Distributed {
+		fleet = s.fleet.ForJob(filepath.Base(jobDir), spec.Benchmark, s.cfg.Quick, seed)
+	}
 	r := experiments.NewRunner(experiments.Config{
 		Dir:           s.cfg.StateDir,
 		Quick:         s.cfg.Quick,
@@ -215,6 +243,7 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 		CheckpointDir: jobDir,
 		TrainMu:       &s.trainMu,
 		Probes:        probes,
+		Fleet:         fleet,
 	})
 	ov := experiments.Overrides{NMSweep: spec.NMSweep, NA: spec.NA}
 	var art Artifacts

@@ -93,6 +93,12 @@ type Config struct {
 	// RunJob overrides the job executor (tests); nil runs the real
 	// experiments.
 	RunJob RunFunc
+	// LeaseTTL is the fleet lease lifetime: how long a worker's window
+	// lease survives without a completion or renewal before the
+	// coordinator re-issues it (0 = DefaultLeaseTTL). Workers renew at
+	// TTL/3, so the TTL trades crash-recovery latency against renewal
+	// traffic, never correctness.
+	LeaseTTL time.Duration
 }
 
 // job is the server-side state of one submission. All mutable fields are
@@ -130,6 +136,7 @@ type Server struct {
 	cfg     Config
 	obs     *obs.Obs
 	handler *serverHandler
+	fleet   *FleetManager
 	started time.Time
 	// trainMu serializes benchmark training/loading across jobs sharing
 	// the weight cache.
@@ -165,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 		o = obs.New(obs.Off, nil) // metrics registry only
 	}
 	s := &Server{cfg: cfg, obs: o, jobs: map[string]*job{}, started: time.Now()}
+	s.fleet = NewFleetManager(o, cfg.LeaseTTL)
 	s.handler = newHandler(s)
 	if err := os.MkdirAll(s.jobsRoot(), 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -358,7 +366,13 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job) 
 		o.Error("job failed", obs.F("id", j.id), obs.F("err", err))
 	}
 	s.persistLocked(j)
-	j.events.Close()
+	// Close the event stream only on terminal states. A drain-requeued
+	// job is still queued — its subscribers must keep their streams open
+	// (Drain ends them once the manager has fully wound down), not see a
+	// terminal close on a job that will run again.
+	if j.state != StateQueued {
+		j.events.Close()
+	}
 	s.running--
 	s.schedule()
 	s.mu.Unlock()
@@ -426,6 +440,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
+	// Every job goroutine has unwound; jobs still queued (never started,
+	// or requeued by the drain itself) will not run in this process, so
+	// end their event streams now — otherwise their NDJSON subscribers
+	// would hang and block the HTTP server's shutdown.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			j.events.Close()
+		}
+	}
+	s.mu.Unlock()
 	if err := s.writeMetricsSnapshot(); err != nil {
 		return err
 	}
@@ -483,6 +508,9 @@ func (s *Server) persistLocked(j *job) {
 		s.obs.Warn("job manifest write failed", obs.F("id", j.id), obs.F("err", err))
 	}
 }
+
+// Fleet returns the server's lease coordinator.
+func (s *Server) Fleet() *FleetManager { return s.fleet }
 
 // Get returns a job by ID.
 func (s *Server) Get(id string) (*job, bool) {

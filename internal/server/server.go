@@ -23,6 +23,10 @@ import (
 //	GET    /v1/jobs/{id}/result artifact (?format=...)  → 200, 409 until done
 //	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON → 200 once written
 //	DELETE /v1/jobs/{id}        cancel                  → 200 JobStatus
+//	POST   /v1/fleet/lease      worker leases a window  → 200 Lease, 204 idle
+//	POST   /v1/fleet/complete   worker reports counts   → 200, 404, 400
+//	POST   /v1/fleet/renew      worker heartbeat        → 200, 410 gone
+//	GET    /v1/fleet            fleet / lease state     → 200 FleetStatus
 //	GET    /healthz             liveness + queue depth  → 200, 503 draining
 //	GET    /metricsz            process metrics snapshot (JSON, or
 //	                            Prometheus text with ?format=prom)
@@ -143,6 +147,10 @@ func newHandler(s *Server) *serverHandler {
 	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/trace", h.trace)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	h.mux.HandleFunc("POST /v1/fleet/lease", h.fleetLease)
+	h.mux.HandleFunc("POST /v1/fleet/complete", h.fleetComplete)
+	h.mux.HandleFunc("POST /v1/fleet/renew", h.fleetRenew)
+	h.mux.HandleFunc("GET /v1/fleet", h.fleetStatus)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /metricsz", h.metricsz)
 	return h

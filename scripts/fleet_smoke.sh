@@ -1,0 +1,104 @@
+#!/bin/sh
+# Fleet smoke test: a distributed sweep executed by workers over leased
+# windows must produce byte-identical artifacts to the single-process CLI
+# run — including when one worker is killed mid-run, so its outstanding
+# lease expires and the window is re-issued to the survivor.
+#
+#   scripts/fleet_smoke.sh [workdir]
+#
+# Needs curl and jq (both present on the CI runners).
+set -eu
+
+work=${1:-$(mktemp -d)}
+bin="$work/redcane"
+clidir="$work/cli-cache"
+srvdir="$work/srv-cache"
+addr=127.0.0.1:18322
+base="http://$addr"
+mkdir -p "$clidir" "$srvdir"
+
+go build -o "$bin" ./cmd/redcane
+
+common="-quick -seed 42 -log-level info"
+
+echo "== CLI reference sweep (single process) =="
+"$bin" $common -dir "$clidir" -csv "$work/cli-csv" experiment groups-capsnet-mnist-like \
+    > "$work/cli.txt"
+
+echo "== coordinator + 2 workers =="
+# Short lease TTL so the killed worker's window re-issues quickly.
+"$bin" $common -dir "$srvdir" serve -addr "$addr" -lease-ttl 2s &
+srv=$!
+i=0
+while ! curl -sf "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$srv" 2>/dev/null; then
+        echo "FAIL: coordinator never became healthy"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Both workers reuse the CLI run's warm weight cache: same benchmark,
+# same train seed, same quick mode, so they load instead of retraining.
+"$bin" $common -dir "$clidir" worker -join "$base" -name w1 -poll 100ms \
+    > "$work/w1.log" 2>&1 &
+w1=$!
+"$bin" $common -dir "$clidir" worker -join "$base" -name w2 -poll 100ms \
+    > "$work/w2.log" 2>&1 &
+w2=$!
+
+job=$(curl -sf -X POST "$base/v1/jobs" \
+    -d '{"kind":"group-sweep","benchmark":"capsnet-mnist-like","distributed":true}' | jq -r .id)
+echo "submitted distributed job $job"
+
+echo "== kill worker w1 once it holds leased work =="
+i=0
+while [ "$i" -lt 600 ]; do
+    state=$(curl -sf "$base/v1/jobs/$job" | jq -r .state)
+    [ "$state" = "done" ] && break
+    if curl -sf "$base/v1/fleet" |
+        jq -e '.workers.w1 != null and .windows_leased >= 1' >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+kill -9 "$w1" 2>/dev/null || true
+echo "killed w1 (its lease must expire and re-issue to w2)"
+
+i=0
+state=timeout
+while [ "$i" -lt 6000 ]; do
+    state=$(curl -sf "$base/v1/jobs/$job" | jq -r .state)
+    case "$state" in
+    done | failed | cancelled) break ;;
+    esac
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$state" != "done" ]; then
+    echo "FAIL: distributed job $job ended as $state"
+    curl -sf "$base/v1/jobs/$job" || true
+    echo "-- w2 log --"
+    cat "$work/w2.log" || true
+    exit 1
+fi
+
+curl -sf "$base/v1/jobs/$job/result?format=csv" > "$work/fleet.csv"
+curl -sf "$base/v1/jobs/$job/result?format=text" > "$work/fleet.txt"
+if ! cmp -s "$work/cli-csv/groups-capsnet-mnist-like.csv" "$work/fleet.csv"; then
+    echo "FAIL: fleet CSV differs from the single-process CLI run"
+    diff "$work/cli-csv/groups-capsnet-mnist-like.csv" "$work/fleet.csv" || true
+    exit 1
+fi
+if ! cmp -s "$work/cli.txt" "$work/fleet.txt"; then
+    echo "FAIL: fleet text artifact differs from the single-process CLI run"
+    diff "$work/cli.txt" "$work/fleet.txt" || true
+    exit 1
+fi
+
+kill -TERM "$w2" 2>/dev/null || true
+kill -TERM "$srv"
+wait "$srv" || { echo "FAIL: coordinator drain exited non-zero"; exit 1; }
+echo "PASS: fleet run (with a mid-run worker kill) byte-identical to the single-process sweep"
