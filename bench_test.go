@@ -385,6 +385,28 @@ func BenchmarkInferenceDeepCaps(b *testing.B) {
 	}
 }
 
+// BenchmarkInferenceApproxSoftmax is BenchmarkInferenceDeepCaps with the
+// approximate nonlinearities (base-2 softmax, Newton-free squash)
+// threaded through the seam: the behavioral models cost about the same
+// in float as the exact kernels, so a large gap here means the
+// decorator path regressed.
+func BenchmarkInferenceApproxSoftmax(b *testing.B) {
+	net, err := models.BuildInference(models.DeepCaps([]int{3, 16, 16}, 10), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := core.ResolveNonlinearity("base2", "sqnorm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	be := caps.WithNonlinearity(caps.Float{}, nl)
+	x := tensor.New(8, 3, 16, 16).FillUniform(tensor.NewRNG(8), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardExec(x, noise.None{}, be)
+	}
+}
+
 // ---- Sweep engine ----------------------------------------------------
 
 // sweepBenchAnalyzer builds the analyzer fixture shared by the

@@ -10,19 +10,29 @@
 // Commands:
 //
 //	train                     train (or load) all five benchmarks, print Table II
-//	experiment <id>|all       regenerate a paper artifact: table1 table2 table3
-//	                          table4 fig4 fig5 fig6 fig9 fig10 fig11 fig12,
-//	                          ablation-routing ablation-lut ablation-na, or all
+//	experiment <id>|all       regenerate a paper artifact: table1..table4,
+//	                          fig4..fig6, fig9..fig12, ablation-routing,
+//	                          ablation-lut, ablation-na, ablation-faults,
+//	                          ablation-selection, ablation-range, stability,
+//	                          accel, validate, the per-benchmark sweeps
+//	                          groups-/layers-/faults-<benchmark>, or all
 //	design [benchmark]        run the 6-step methodology (default capsnet-mnist-like)
 //	refine [benchmark]        design plus the validate-and-repair refinement loop
 //	validate [benchmark]      run the selected design bit-accurately on the
 //	                          -backend execution backend and compare measured
 //	                          accuracy with the noise model's prediction per
 //	                          design, group, and MAC layer
+//	fault-sweep [benchmark]   group-wise resilience under a fault injector
+//	                          (-fault kind) instead of the Gaussian noise
+//	                          model; same engine, severity grid per kind
 //	characterize [component]  error profiles of one or all library multipliers
 //	energy                    the energy analysis bundle (table1 + fig4 + fig5)
 //	serve                     long-running HTTP/JSON analysis job service
-//	                          (serve flags: -addr :8080, -queue 16, -slots 2)
+//	                          (serve flags: -addr :8080, -queue 16, -slots 2,
+//	                          -lease-ttl 30s for distributed sweep leases)
+//	worker                    join a coordinator's fleet and evaluate leased
+//	                          sweep windows (worker flags: -join URL required,
+//	                          -name worker-<pid>, -poll 500ms)
 //	list                      list benchmarks and experiment ids
 //
 // Flags:
@@ -39,6 +49,12 @@
 //	-backend    execution backend for validate: float, quant-exact, or
 //	            quant-approx (default quant-approx)
 //	-bits       operand wordlength of the quantized backends (default 8)
+//	-softmax    routing softmax operator: exact (default), base2, or pwl;
+//	            approximate variants apply to every analysis and sweep
+//	-squash     capsule squash operator: exact (default) or sqnorm
+//	-fault      fault-sweep injector kind: gaussian, bit-flip (default),
+//	            stuck-at-0, or stuck-at-1
+//	-fault-bits bit-flip word length (default 8; bit-flip kind only)
 //	-v          shorthand for -log-level info
 //	-log-level  event verbosity: debug, info, warn (default), error, off
 //	-metrics    write a JSON telemetry snapshot (counters/gauges/timers:
@@ -80,6 +96,7 @@ import (
 	"redcane/internal/approx"
 	"redcane/internal/core"
 	"redcane/internal/experiments"
+	"redcane/internal/noise"
 	"redcane/internal/obs"
 	"redcane/internal/server"
 )
@@ -98,6 +115,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write the design report as JSON to this file (design/refine)")
 	backend := flag.String("backend", "quant-approx", "validate execution backend: float|quant-exact|quant-approx")
 	bits := flag.Uint("bits", 8, "operand wordlength of the quantized backends")
+	softmax := flag.String("softmax", "exact", "routing softmax operator: exact|base2|pwl")
+	squash := flag.String("squash", "exact", "capsule squash operator: exact|sqnorm")
+	fault := flag.String("fault", noise.KindBitFlip, "fault-sweep injector kind: gaussian|bit-flip|stuck-at-0|stuck-at-1")
+	faultBits := flag.Uint("fault-bits", 0, "bit-flip word length (default 8; bit-flip kind only)")
 	verbose := flag.Bool("v", false, "shorthand for -log-level info")
 	logLevel := flag.String("log-level", "", "event verbosity: debug|info|warn|error|off (default warn)")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file on exit")
@@ -169,14 +190,27 @@ func main() {
 	if *probesDir != "" {
 		probes = core.NewProbeSet()
 	}
+	// Bad operator or injector names are usage errors: fail before any
+	// training or analysis starts.
+	if _, err := core.ResolveNonlinearity(*softmax, *squash); err != nil {
+		fmt.Fprintln(os.Stderr, "redcane:", err)
+		os.Exit(2)
+	}
+	faultSpec, err := noise.Spec{Kind: *fault, Bits: *faultBits}.Normalize()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redcane:", err)
+		os.Exit(2)
+	}
 	cfg := experiments.Config{
 		Dir: *dir, Quick: *quick, Seed: *seed, Workers: *workers, Obs: o,
 		Ctx: runCtx, Checkpoint: *checkpointOn, Probes: probes,
+		Softmax: *softmax, Squash: *squash,
 	}
 	r := experiments.NewRunner(cfg)
 	c := &cli{
 		runner: r, obs: o, ctx: runCtx, cfg: cfg,
 		csvDir: *csvDir, jsonPath: *jsonPath, backend: *backend, bits: *bits,
+		fault: faultSpec,
 	}
 	runErr := c.run(os.Stdout, flag.Arg(0), flag.Args()[1:])
 	signal.Stop(sig)
@@ -320,12 +354,15 @@ commands:
                             ablation-routing, ablation-lut, ablation-na,
                             ablation-faults, ablation-selection,
                             ablation-range, stability, accel, validate,
-                            groups-<benchmark>, layers-<benchmark>
+                            groups-/layers-/faults-<benchmark>
   design [benchmark]        full 6-step methodology (see 'list')
   refine [benchmark]        design + validate-and-repair refinement loop
   validate [benchmark]      run the selected design bit-accurately on the
                             -backend backend; compare measured accuracy with
                             the noise model per design, group, and MAC layer
+  fault-sweep [benchmark]   group-wise resilience under the -fault injector
+                            (bit flips, stuck-at cells) instead of the
+                            Gaussian noise model; severity grid per kind
   characterize [component]  multiplier error profiles
   energy                    table1 + fig4 + fig5
   serve                     HTTP/JSON analysis job service over -dir; jobs
@@ -352,6 +389,14 @@ flags:
                  quant-approx (default quant-approx)
   -bits n        operand wordlength of the quantized backends (default 8;
                  approximate multipliers require n <= 8)
+  -softmax name  routing softmax operator: exact (default), base2 (2^x
+                 shift hardware), or pwl (piecewise-linear exponential);
+                 approximate variants apply to every analysis and sweep
+  -squash name   capsule squash operator: exact (default) or sqnorm
+                 (Newton-free squared-norm squash)
+  -fault kind    fault-sweep injector: gaussian, bit-flip (default),
+                 stuck-at-0, or stuck-at-1
+  -fault-bits n  bit-flip word length (default 8; bit-flip kind only)
   -v             shorthand for -log-level info
   -log-level l   event verbosity: debug|info|warn|error|off (default warn)
   -metrics file  write a JSON telemetry snapshot on exit
@@ -379,6 +424,7 @@ type cli struct {
 	jsonPath string
 	backend  string
 	bits     uint
+	fault    noise.Spec
 }
 
 func (c *cli) run(w io.Writer, cmd string, args []string) error {
@@ -460,6 +506,23 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 			return c.writeCSV("validate", res)
 		}
 		return nil
+	case "fault-sweep":
+		b := experiments.DefaultBenchmark
+		if len(args) == 1 {
+			var err error
+			if b, err = experiments.FindBenchmark(args[0]); err != nil {
+				return err
+			}
+		}
+		res, err := r.FaultSweep(b, c.fault, experiments.Overrides{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Render())
+		if c.csvDir != "" {
+			return c.writeCSV("faults-"+b.Key(), res)
+		}
+		return nil
 	case "characterize":
 		return characterize(w, args)
 	case "energy":
@@ -485,6 +548,7 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 		fmt.Fprintln(w, "per-benchmark sweeps (not part of 'all'):")
 		fmt.Fprintln(w, "  groups-<benchmark>  methodology Steps 1-3 (Fig. 9/12 for that benchmark)")
 		fmt.Fprintln(w, "  layers-<benchmark>  layer-wise MAC sweep (Fig. 10 for that benchmark)")
+		fmt.Fprintln(w, "  faults-<benchmark>  group-wise fault campaign under -fault/-fault-bits")
 		return nil
 	default:
 		usage(os.Stderr)
@@ -676,6 +740,9 @@ func experimentTable() []experimentEntry {
 			}),
 			resultEntry("layers-"+b.Key(), false, func(c *cli) (renderer, error) {
 				return c.runner.LayerSweep(b, experiments.Overrides{})
+			}),
+			resultEntry("faults-"+b.Key(), false, func(c *cli) (renderer, error) {
+				return c.runner.FaultSweep(b, c.fault, experiments.Overrides{})
 			}),
 		)
 	}

@@ -1,0 +1,158 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"redcane/internal/tensor"
+)
+
+// This file holds the behavioral models of hardware-approximated routing
+// nonlinearities, following the ISLPED 2022 follow-up ("Enabling Capsule
+// Networks at the Edge through Approximate Softmax and Squash
+// Operations"): softmax with the exponential replaced by powers of two
+// (a shift in hardware) or by a piecewise-linear exponential, and squash
+// with the exact square root replaced by a one-segment linear
+// approximation on the float exponent (no Newton iterations). Each
+// function matches the tensor.Softmax / tensor.Squash signature so the
+// caps.Nonlinearity seam can swap them in without touching the routing
+// loop. The energy side of the trade lives in
+// internal/energy/opcount.go (SoftmaxVariantOps / SquashVariantOps).
+
+// NonlinearFn is the shared shape of the softmax and squash operators:
+// a normalization along one axis, returning a new tensor.
+type NonlinearFn func(t *tensor.Tensor, axis int) *tensor.Tensor
+
+// Softmax variant names accepted by SoftmaxByName. "exact" selects the
+// bit-exact tensor.Softmax path.
+var SoftmaxNames = []string{"exact", "base2", "pwl"}
+
+// Squash variant names accepted by SquashByName.
+var SquashNames = []string{"exact", "sqnorm"}
+
+// SoftmaxByName resolves a softmax variant. "exact" (and "") return nil:
+// the caller keeps the bit-exact default path.
+func SoftmaxByName(name string) (NonlinearFn, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "exact":
+		return nil, nil
+	case "base2":
+		return Base2Softmax, nil
+	case "pwl":
+		return PiecewiseSoftmax, nil
+	default:
+		return nil, fmt.Errorf("approx: unknown softmax variant %q (valid: %s)",
+			name, strings.Join(SoftmaxNames, ", "))
+	}
+}
+
+// SquashByName resolves a squash variant. "exact" (and "") return nil:
+// the caller keeps the bit-exact default path.
+func SquashByName(name string) (NonlinearFn, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "exact":
+		return nil, nil
+	case "sqnorm":
+		return SqNormSquash, nil
+	default:
+		return nil, fmt.Errorf("approx: unknown squash variant %q (valid: %s)",
+			name, strings.Join(SquashNames, ", "))
+	}
+}
+
+// Base2Softmax computes softmax with 2^x in place of e^x — a pure shift
+// of the exponent field in fixed-point hardware. Behaviorally this is a
+// temperature change (2^x = e^(x·ln2)), so the coupling coefficients are
+// systematically softer than the exact softmax's.
+func Base2Softmax(t *tensor.Tensor, axis int) *tensor.Tensor {
+	return softmaxWith(t, axis, math.Exp2)
+}
+
+// PiecewiseSoftmax computes softmax with the piecewise-linear
+// exponential e^x ≈ 2^⌊x·log₂e⌋ · (1 + frac(x·log₂e)): the hardware
+// replaces the mantissa curve 2^f with the chord 1+f, leaving only a
+// shift and an add per logit. The relative error of the chord is at most
+// 2^f−(1+f) ≤ ~6% (at f ≈ 0.53), so the coefficients track the exact
+// softmax closely but not bit-identically.
+func PiecewiseSoftmax(t *tensor.Tensor, axis int) *tensor.Tensor {
+	return softmaxWith(t, axis, func(x float64) float64 {
+		tv := x * math.Log2E
+		i := math.Floor(tv)
+		return math.Ldexp(1+(tv-i), int(i))
+	})
+}
+
+// softmaxWith is tensor.Softmax with the exponential swapped out; the
+// max-subtraction stabilization and normalization are unchanged.
+func softmaxWith(t *tensor.Tensor, axis int, exp func(float64) float64) *tensor.Tensor {
+	outer, n, inner := tensor.AxisStrides(t.Shape, axis)
+	out := tensor.New(t.Shape...)
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			maxv := math.Inf(-1)
+			for a := 0; a < n; a++ {
+				v := t.Data[(o*n+a)*inner+i]
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for a := 0; a < n; a++ {
+				e := exp(t.Data[(o*n+a)*inner+i] - maxv)
+				out.Data[(o*n+a)*inner+i] = e
+				sum += e
+			}
+			for a := 0; a < n; a++ {
+				out.Data[(o*n+a)*inner+i] /= sum
+			}
+		}
+	}
+	return out
+}
+
+// SqNormSquash is the Newton-free squash: the scale n²/(1+n²) needs only
+// the squared norm, and the direction normalization 1/n uses LinearSqrt
+// instead of an exact square root — no Newton–Raphson refinement, so the
+// whole nonlinearity reduces to multiplies, adds and one divide per
+// element in hardware.
+func SqNormSquash(t *tensor.Tensor, axis int) *tensor.Tensor {
+	const eps = 1e-12
+	outer, n, inner := tensor.AxisStrides(t.Shape, axis)
+	out := tensor.New(t.Shape...)
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			norm2 := 0.0
+			for a := 0; a < n; a++ {
+				v := t.Data[(o*n+a)*inner+i]
+				norm2 += v * v
+			}
+			norm := LinearSqrt(norm2 + eps)
+			scale := norm2 / (1 + norm2) / norm
+			for a := 0; a < n; a++ {
+				idx := (o*n+a)*inner + i
+				out.Data[idx] = t.Data[idx] * scale
+			}
+		}
+	}
+	return out
+}
+
+// LinearSqrt approximates √x with one linear segment per power-of-four
+// interval: writing x = m·4^k with m ∈ [0.25, 1), it returns
+// 2^k · (1/3 + 2m/3) — the chord of √m through its endpoints, exact at
+// m ∈ {0.25, 1} with ≤ ~6% relative error in between. In hardware this
+// is an exponent shift, one multiply and one add; here it serves as the
+// bit-true behavioral model.
+func LinearSqrt(x float64) float64 {
+	if x <= 0 || math.IsInf(x, 1) || math.IsNaN(x) {
+		return math.Sqrt(x)
+	}
+	m, e := math.Frexp(x) // x = m·2^e, m ∈ [0.5, 1)
+	if e&1 != 0 {         // odd exponent: shift into m so e is even
+		m *= 0.5
+		e++
+	}
+	// Now x = m·4^(e/2) with m ∈ [0.25, 1).
+	return math.Ldexp(1.0/3+2*m/3, e/2)
+}

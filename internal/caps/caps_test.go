@@ -208,7 +208,7 @@ func TestDynamicRoutingUniformCouplingFirstIteration(t *testing.T) {
 	// followed by squash (softmax of zero logits is uniform).
 	inCaps, outCaps, outDim := 3, 2, 4
 	votes := rt(21, 1, inCaps, outCaps, outDim, 1)
-	got := dynamicRouting(votes, "L", 1, noise.None{}, nil)
+	got := dynamicRouting(votes, "L", 1, noise.None{}, nil, Nonlinearity{})
 	// Manual: s_j = (1/outCaps)·Σ_i? No — softmax over j of zeros gives
 	// 1/outCaps per (i, j); s_j = Σ_i (1/outCaps)·û_ij.
 	s := tensor.New(1, outCaps, outDim, 1)

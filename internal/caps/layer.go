@@ -123,16 +123,16 @@ func (l *ConvCaps2D) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor
 	if l.SkipSquash {
 		return y
 	}
-	return squashCaps(y, l.Caps, l.Dim, l.LayerName, inj, s)
+	return squashCaps(y, l.Caps, l.Dim, l.LayerName, inj, s, nonlinearityOf(be))
 }
 
 // squashCaps squashes an NCHW tensor whose channels are caps·dim capsule
-// components and injects the Activations site. The pre-squash tensor is
-// released back to the scratch arena.
-func squashCaps(y *tensor.Tensor, caps, dim int, layer string, inj noise.Injector, s *tensor.Scratch) *tensor.Tensor {
+// components (through nl's squash operator) and injects the Activations
+// site. The pre-squash tensor is released back to the scratch arena.
+func squashCaps(y *tensor.Tensor, caps, dim int, layer string, inj noise.Injector, s *tensor.Scratch, nl Nonlinearity) *tensor.Tensor {
 	n, h, w := y.Shape[0], y.Shape[2], y.Shape[3]
 	v := y.Reshape(n, caps, dim, h, w)
-	sq := tensor.Squash(v, 2)
+	sq := nl.squash(v, 2)
 	s.Release(y)
 	sq = inj.Inject(noise.Site{Layer: layer, Group: noise.Activations}, sq)
 	return sq.Reshape(n, caps*dim, h, w)

@@ -239,16 +239,22 @@ func (n *Network) InjectionFrontier(accept noise.Filter) int {
 	return len(n.Layers)
 }
 
-// BackendFrontier returns the index of the first layer whose MAC kernels
-// the backend executes approximately (Backend.ApproxLayer), or
-// len(n.Layers) when the backend is exact everywhere. Layers before the
-// frontier produce bit-identical activations under any backend sharing
-// be's BaseID, so their clean activations can be cached and replayed —
-// the same invariant InjectionFrontier provides for noise injectors.
+// BackendFrontier returns the index of the first layer whose output the
+// backend computes approximately — through approximate MAC kernels
+// (Backend.ApproxLayer) or a carried non-exact nonlinearity
+// (NonlinearityCarrier) — or len(n.Layers) when the backend is exact
+// everywhere. Layers before the frontier produce bit-identical
+// activations under any backend sharing be's BaseID, so their clean
+// activations can be cached and replayed — the same invariant
+// InjectionFrontier provides for noise injectors.
 func (n *Network) BackendFrontier(be Backend) int {
-	return n.InjectionFrontier(func(s noise.Site) bool {
+	f := n.InjectionFrontier(func(s noise.Site) bool {
 		return be.ApproxLayer(s.Layer)
 	})
+	if nf := n.NonlinearityFrontier(nonlinearityOf(be)); nf < f {
+		f = nf
+	}
+	return f
 }
 
 // MACDepths maps each MAC-bearing layer name to its accumulation depth:

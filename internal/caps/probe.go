@@ -257,6 +257,16 @@ func (p *ProbeBackend) BaseID() string { return p.inner.BaseID() }
 // ApproxLayer implements Backend.
 func (p *ProbeBackend) ApproxLayer(layer string) bool { return p.inner.ApproxLayer(layer) }
 
+// Nonlinearity implements NonlinearityCarrier by delegating to the
+// wrapped backend, so a probed pass applies the same softmax/squash
+// variants as the unprobed one (the zero value is the exact pair).
+func (p *ProbeBackend) Nonlinearity() Nonlinearity {
+	if c, ok := p.inner.(NonlinearityCarrier); ok {
+		return c.Nonlinearity()
+	}
+	return Nonlinearity{}
+}
+
 // Conv2D implements Backend: delegate, observe, pass through.
 func (p *ProbeBackend) Conv2D(layer string, x, w, bias *tensor.Tensor, stride, pad int, s *tensor.Scratch) *tensor.Tensor {
 	out := p.inner.Conv2D(layer, x, w, bias, stride, pad, s)

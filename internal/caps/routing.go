@@ -36,7 +36,7 @@ func (l *ConvCaps3D) Forward(x *tensor.Tensor, inj noise.Injector) *tensor.Tenso
 func (l *ConvCaps3D) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.Scratch, be Backend) *tensor.Tensor {
 	votes, oh, ow := l.votes(x, s, be)
 	votes = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, votes)
-	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s)
+	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s, nonlinearityOf(be))
 	s.Release(votes)
 	n := x.Shape[0]
 	return v.Reshape(n, l.OutCaps*l.OutDim, oh, ow)
@@ -127,7 +127,7 @@ func (l *ClassCaps) ForwardExec(x *tensor.Tensor, inj noise.Injector, s *tensor.
 	u := flattenToCaps(x, l.InCaps, l.InDim)
 	votes := be.CapsVotes(l.LayerName, u, l.W, s)
 	votes = inj.Inject(noise.Site{Layer: l.LayerName, Group: noise.MACOutputs}, votes)
-	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s)
+	v := dynamicRouting(votes, l.LayerName, l.RoutingIterations, inj, s, nonlinearityOf(be))
 	if u != x {
 		s.Release(u) // u was a flattening copy, not the caller's input
 	}
@@ -197,14 +197,15 @@ func routingSites(layer string) []noise.Site {
 
 // DynamicRouting exposes the routing-by-agreement kernel for external
 // executors (e.g. the quantized approximate-execution engine), which
-// compute the votes themselves and route them accurately.
+// compute the votes themselves and route them accurately with the exact
+// nonlinearities.
 // votes is [n, inCaps, outCaps, outDim, positions]; the result is
 // [n, outCaps, outDim, positions].
 func DynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj noise.Injector) *tensor.Tensor {
 	if inj == nil {
 		inj = noise.None{}
 	}
-	return dynamicRouting(votes, layer, iterations, inj, nil)
+	return dynamicRouting(votes, layer, iterations, inj, nil, Nonlinearity{})
 }
 
 // dynamicRouting runs routing-by-agreement over votes of shape
@@ -212,8 +213,10 @@ func DynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 // [n, outCaps, outDim, positions]. Each Table III operation passes through
 // the injector every iteration, exactly as the modified-TensorFlow-graph
 // implementation of the paper injects at every executed node (Sec. V-B).
+// The coupling softmax and output squash run through nl, so approximate
+// nonlinearity variants flow through the identical loop and sites.
 // Per-iteration temporaries recycle through the optional scratch arena.
-func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj noise.Injector, sc *tensor.Scratch) *tensor.Tensor {
+func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj noise.Injector, sc *tensor.Scratch, nl Nonlinearity) *tensor.Tensor {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -224,7 +227,7 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 	var v *tensor.Tensor
 	for it := 0; it < iterations; it++ {
 		// Coupling coefficients k = softmax over output capsules.
-		k := tensor.Softmax(logits, 2)
+		k := nl.softmax(logits, 2)
 		k = inj.Inject(noise.Site{Layer: layer, Group: noise.Softmax}, k)
 
 		// s[b, j, d, p] = Σ_i k[b, i, j, p] · û[b, i, j, d, p]
@@ -249,7 +252,7 @@ func dynamicRouting(votes *tensor.Tensor, layer string, iterations int, inj nois
 
 		// v = squash(s) along the capsule dimension.
 		prev := v
-		v = tensor.Squash(s, 2)
+		v = nl.squash(s, 2)
 		v = inj.Inject(noise.Site{Layer: layer, Group: noise.Activations}, v)
 		sc.Release(k, s, prev)
 

@@ -63,6 +63,13 @@ func (a *Analyzer) EvalBackend(ctx context.Context, be caps.Backend, section str
 	}
 	a.Opts = a.Opts.WithDefaults()
 	o := a.Opts
+	// The analyzer's softmax/squash variants apply to backend evaluations
+	// too, so a design measured under an approximate nonlinearity is
+	// compared against sweeps run under the same one.
+	be, err := a.execBackend(be)
+	if err != nil {
+		return 0, err
+	}
 	x, y := a.evalData()
 	n := x.Shape[0]
 	if n == 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"redcane/internal/caps"
 	"redcane/internal/noise"
 	"redcane/internal/obs"
 )
@@ -112,7 +113,14 @@ func (a *Analyzer) EvalWindow(ctx context.Context, scope SweepScope, seedBase ui
 	}
 	a.Opts = a.Opts.WithDefaults()
 	o := a.Opts
+	if _, err := o.Noise.Normalize(); err != nil {
+		return nil, err
+	}
 	filter, err := scope.Filter()
+	if err != nil {
+		return nil, err
+	}
+	be, err := a.execBackend(caps.Float{})
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +131,11 @@ func (a *Analyzer) EvalWindow(ctx context.Context, scope SweepScope, seedBase ui
 		return nil, fmt.Errorf("window [%d, %d) out of range (nb=%d)", b0, b1, nb)
 	}
 	frontier := a.Net.InjectionFrontier(filter)
+	if nf := a.Net.BackendFrontier(be); nf < frontier {
+		frontier = nf
+	}
 	evals := sweepEvals(o)
-	jobCorrect, _, err := a.windowJobs(ctx, filter, evals, x, y, frontier, seedBase, b0, b1, nb, false)
+	jobCorrect, _, err := a.windowJobs(ctx, filter, evals, x, y, frontier, seedBase, b0, b1, nb, false, be)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,12 @@ import (
 // (Sec. VI-A): NM ∈ [0.5 … 0.001] plus the noiseless point.
 var PaperNMSweep = []float64{0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0}
 
+// DefaultFaultSweep is the default severity grid for fault-model sweeps
+// (bit-flip probability or stuck-cell fraction): faults at the paper's
+// Gaussian magnitudes would wipe out accuracy entirely, so the fault grid
+// sits two decades lower, plus the fault-free point.
+var DefaultFaultSweep = []float64{0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002, 0.0001, 0}
+
 // Options parameterizes an analysis run.
 type Options struct {
 	// NMSweep is the descending noise-magnitude grid; defaults to
@@ -55,6 +61,19 @@ type Options struct {
 	Threshold float64
 	// Seed drives all injected noise.
 	Seed uint64
+	// Noise selects the injector kind the sweep grid drives: the zero
+	// value is the paper's Gaussian model; the fault kinds (bit-flip,
+	// stuck-at) reinterpret NMSweep as their severity grid (flip
+	// probability, stuck fraction). See noise.Spec.
+	Noise noise.Spec
+	// Softmax and Squash name the nonlinearity variants every evaluation
+	// runs under ("" or "exact" is the bit-exact default; see
+	// approx.SoftmaxNames / approx.SquashNames for the approximate
+	// variants). Non-default variants shorten the clean-prefix frontier
+	// to the first affected layer and fold into the checkpoint
+	// fingerprint.
+	Softmax string
+	Squash  string
 	// MaxEval caps the number of test samples evaluated per sweep point
 	// (0 = all).
 	MaxEval int
@@ -99,6 +118,19 @@ func (o Options) WithDefaults() Options {
 	} else if o.PrefixCacheMB < 0 {
 		o.PrefixCacheMB = -1
 	}
+	if n, err := o.Noise.Normalize(); err == nil && !n.IsGaussian() {
+		// Canonicalize non-default kinds only: the gaussian default keeps
+		// its zero value so pre-existing fingerprints and wire forms are
+		// untouched. Invalid specs pass through and fail loudly in the
+		// sweep entry points.
+		o.Noise = n
+	}
+	if o.Softmax == "exact" {
+		o.Softmax = ""
+	}
+	if o.Squash == "exact" {
+		o.Squash = ""
+	}
 	return o
 }
 
@@ -130,9 +162,45 @@ func normalizeNMSweep(grid []float64) []float64 {
 // another.
 func (o Options) Fingerprint() string {
 	o = o.WithDefaults()
-	return checkpoint.Fingerprint(fmt.Sprintf(
+	s := fmt.Sprintf(
 		"opts-v1|nm=%v|na=%g|trials=%d|batch=%d|thr=%g|seed=%d|maxeval=%d",
-		o.NMSweep, o.NA, o.Trials, o.Batch, o.Threshold, o.Seed, o.MaxEval))
+		o.NMSweep, o.NA, o.Trials, o.Batch, o.Threshold, o.Seed, o.MaxEval)
+	// The new sweep dimensions append only when non-default, so every
+	// pre-existing checkpoint keeps its fingerprint: a gaussian sweep
+	// under exact nonlinearities hashes the exact pre-dimension string.
+	if !o.Noise.IsGaussian() {
+		s += "|noise=" + o.Noise.String()
+	}
+	if o.Softmax != "" {
+		s += "|softmax=" + o.Softmax
+	}
+	if o.Squash != "" {
+		s += "|squash=" + o.Squash
+	}
+	return checkpoint.Fingerprint(s)
+}
+
+// ResolveNonlinearity resolves softmax/squash variant names into the
+// caps.Nonlinearity the execution paths thread through routing. Empty or
+// "exact" names resolve to the exact operator (a zero Nonlinearity when
+// both are default); unknown names error listing the valid variants.
+func ResolveNonlinearity(softmax, squash string) (caps.Nonlinearity, error) {
+	smFn, err := approx.SoftmaxByName(softmax)
+	if err != nil {
+		return caps.Nonlinearity{}, err
+	}
+	sqFn, err := approx.SquashByName(squash)
+	if err != nil {
+		return caps.Nonlinearity{}, err
+	}
+	var nl caps.Nonlinearity
+	if smFn != nil {
+		nl.SoftmaxName, nl.SoftmaxFn = softmax, caps.NonlinearFn(smFn)
+	}
+	if sqFn != nil {
+		nl.SquashName, nl.SquashFn = squash, caps.NonlinearFn(sqFn)
+	}
+	return nl, nil
 }
 
 // SweepPoint is one (NM, accuracy) measurement.
@@ -253,6 +321,17 @@ func (a *Analyzer) checkpointPut(key string, v any) {
 	}
 }
 
+// execBackend resolves the analyzer's configured softmax/squash variants
+// and wraps the given backend with them. The exact default returns be
+// unchanged, so default runs execute exactly the pre-seam code path.
+func (a *Analyzer) execBackend(be caps.Backend) (caps.Backend, error) {
+	nl, err := ResolveNonlinearity(a.Opts.Softmax, a.Opts.Squash)
+	if err != nil {
+		return nil, err
+	}
+	return caps.WithNonlinearity(be, nl), nil
+}
+
 // ckptClean is the checkpointed clean-accuracy section.
 type ckptClean struct {
 	Accuracy float64 `json:"accuracy"`
@@ -282,7 +361,11 @@ func (a *Analyzer) CleanAccuracyCtx(ctx context.Context) (float64, error) {
 		}
 	}
 	x, y := a.evalData()
-	acc, err := caps.AccuracyCtx(ctx, a.Net, x, y, noise.None{}, a.Opts.Batch, a.Opts.Workers)
+	be, err := a.execBackend(caps.Float{})
+	if err != nil {
+		return 0, err
+	}
+	acc, err := caps.AccuracyExec(ctx, a.Net, x, y, noise.None{}, be, a.Opts.Batch, a.Opts.Workers)
 	if err != nil {
 		return 0, err
 	}
@@ -784,8 +867,12 @@ func (a *Analyzer) RunMethodology(ctx context.Context, profiles []ComponentProfi
 	}
 
 	inj := NewPerSiteInjector(choices, a.Opts.Seed+777)
+	be, err := a.execBackend(caps.Float{})
+	if err != nil {
+		return nil, err
+	}
 	sp = run.Child("methodology.validate")
-	validated, err := caps.AccuracyCtx(ctx, a.Net, x, y, inj, a.Opts.Batch, a.Opts.Workers)
+	validated, err := caps.AccuracyExec(ctx, a.Net, x, y, inj, be, a.Opts.Batch, a.Opts.Workers)
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -366,10 +366,23 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		ctx = context.Background()
 	}
 	o := a.Opts
+	if _, err := o.Noise.Normalize(); err != nil {
+		return nil, err
+	}
+	be, err := a.execBackend(caps.Float{})
+	if err != nil {
+		return nil, err
+	}
 	x, y := a.evalData()
 	n := x.Shape[0]
 	nb := (n + o.Batch - 1) / o.Batch
 	frontier := a.Net.InjectionFrontier(filter)
+	// A non-exact nonlinearity perturbs every routing layer, so the clean
+	// prefix must stop before the first affected one (Float never shortens
+	// this: its ApproxLayer is constant-false).
+	if nf := a.Net.BackendFrontier(be); nf < frontier {
+		frontier = nf
+	}
 
 	evals := sweepEvals(o)
 	correct := make([]int, len(evals)) // per (point, trial), summed over batches
@@ -430,7 +443,7 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 			b1 = nb
 		}
 		tw0 := time.Now()
-		jobCorrect, jobProbes, err := a.windowJobs(ctx, filter, evals, x, y, frontier, seedBase, b0, b1, nb, probing)
+		jobCorrect, jobProbes, err := a.windowJobs(ctx, filter, evals, x, y, frontier, seedBase, b0, b1, nb, probing, be)
 		if err != nil {
 			var jp *JobPanicError
 			if !errors.As(err, &jp) {
@@ -506,7 +519,7 @@ func (a *Analyzer) sweep(ctx context.Context, filter noise.Filter, clean float64
 		if label == "" {
 			label = ckey
 		}
-		swp := ProbeSweep{Label: label, Backend: "float"}
+		swp := ProbeSweep{Label: label, Backend: be.Name()}
 		for pi, nm := range o.NMSweep {
 			if probeAcc[pi] == nil {
 				continue
@@ -547,9 +560,9 @@ func sweepEvals(o Options) []evalIdx {
 // path that turns a window into counts — the local sweep loop and the
 // worker-side EvalWindow both call it, which is what makes a leased
 // window's counts bit-identical to the in-process ones.
-func (a *Analyzer) windowJobs(ctx context.Context, filter noise.Filter, evals []evalIdx, x *tensor.Tensor, y []int, frontier int, seedBase uint64, b0, b1, nb int, probing bool) ([]int, []*caps.ProbeRecorder, error) {
+func (a *Analyzer) windowJobs(ctx context.Context, filter noise.Filter, evals []evalIdx, x *tensor.Tensor, y []int, frontier int, seedBase uint64, b0, b1, nb int, probing bool, be caps.Backend) ([]int, []*caps.ProbeRecorder, error) {
 	o := a.Opts
-	acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, caps.Float{})
+	acts, err := a.prefixActivations(ctx, frontier, x, b0, b1, nb, be)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -565,7 +578,7 @@ func (a *Analyzer) windowJobs(ctx context.Context, filter noise.Filter, evals []
 		bi := b0 + j%nbw
 		nm := o.NMSweep[e.pi]
 		seed := noise.StreamSeed(o.Seed, seedBase, uint64(e.pi), uint64(e.trial), uint64(bi))
-		inj := noise.NewGaussian(nm, o.NA, filter, seed)
+		inj := o.Noise.Injector(nm, o.NA, filter, seed)
 		var pred []int
 		if probing {
 			// Reference pass: the clean suffix, recorded at the Backend
@@ -574,12 +587,12 @@ func (a *Analyzer) windowJobs(ctx context.Context, filter noise.Filter, evals []
 			// pass cannot perturb the result pass below.
 			rec := caps.NewProbeRecorder()
 			rec.StartReference()
-			a.Net.ClassifyFromExec(frontier, acts[bi-b0], noise.None{}, s, caps.NewProbeBackend(caps.Float{}, rec))
+			a.Net.ClassifyFromExec(frontier, acts[bi-b0], noise.None{}, s, caps.NewProbeBackend(be, rec))
 			rec.StartObserve()
-			pred = a.Net.ClassifyFromExec(frontier, acts[bi-b0], inj, s, caps.NewProbeBackend(caps.Float{}, rec))
+			pred = a.Net.ClassifyFromExec(frontier, acts[bi-b0], inj, s, caps.NewProbeBackend(be, rec))
 			jobProbes[j] = rec
 		} else {
-			pred = a.Net.ClassifyFrom(frontier, acts[bi-b0], inj, s)
+			pred = a.Net.ClassifyFromExec(frontier, acts[bi-b0], inj, s, be)
 		}
 		lo := bi * o.Batch
 		c := 0

@@ -30,6 +30,23 @@ func SquashOps(vectors, dim int) Counts {
 	}
 }
 
+// SquashVariantOps counts the approximate squash variants of
+// internal/approx. sqnorm drops the exact square root for the one-segment
+// LinearSqrt chord — an exponent shift, one multiply and one add per
+// vector — leaving the rest of the tally unchanged. Unknown or exact
+// names fall through to the exact SquashOps tally.
+func SquashVariantOps(name string, vectors, dim int) Counts {
+	if name != "sqnorm" {
+		return SquashOps(vectors, dim)
+	}
+	c := SquashOps(vectors, dim)
+	v := float64(vectors)
+	c.Sqrt -= v
+	c.Mul += v // 2m/3 chord slope
+	c.Add += v // + 1/3 chord intercept (the exponent shift rides free)
+	return c
+}
+
 // SoftmaxOps counts softmax over groups of n logits each.
 func SoftmaxOps(groups, n int) Counts {
 	g := float64(groups)
@@ -37,6 +54,31 @@ func SoftmaxOps(groups, n int) Counts {
 		Exp: g * float64(n),
 		Add: g * float64(n-1),
 		Div: g * float64(n),
+	}
+}
+
+// SoftmaxVariantOps counts the approximate softmax variants of
+// internal/approx. base2 replaces every exponential with a barrel shift
+// of the exponent field — charged as one add, the cheapest Table I class,
+// since a shifter's energy is of that order. pwl additionally reads the
+// mantissa chord 1+f, one more add per logit. Unknown or exact names fall
+// through to the exact SoftmaxOps tally.
+func SoftmaxVariantOps(name string, groups, n int) Counts {
+	g := float64(groups)
+	gn := g * float64(n)
+	switch name {
+	case "base2":
+		return Counts{
+			Add: gn + g*float64(n-1), // shift per logit + normalization adds
+			Div: gn,
+		}
+	case "pwl":
+		return Counts{
+			Add: 2*gn + g*float64(n-1), // shift + chord add per logit
+			Div: gn,
+		}
+	default:
+		return SoftmaxOps(groups, n)
 	}
 }
 

@@ -1,0 +1,56 @@
+package energy
+
+import "testing"
+
+func TestSoftmaxVariantOpsFallThrough(t *testing.T) {
+	exact := SoftmaxOps(5, 10)
+	for _, name := range []string{"", "exact", "bogus"} {
+		if got := SoftmaxVariantOps(name, 5, 10); got != exact {
+			t.Fatalf("SoftmaxVariantOps(%q) = %+v, want exact %+v", name, got, exact)
+		}
+	}
+	if got := SquashVariantOps("", 10, 8); got != SquashOps(10, 8) {
+		t.Fatalf("SquashVariantOps fall-through = %+v", got)
+	}
+}
+
+func TestSoftmaxVariantOpsShape(t *testing.T) {
+	// base2 trades every exponential for a shift (charged as an add);
+	// pwl adds the mantissa-chord add on top. Neither uses Exp at all.
+	b2 := SoftmaxVariantOps("base2", 5, 10)
+	if b2.Exp != 0 || b2.Div != 50 || b2.Add != 50+45 {
+		t.Fatalf("base2 ops = %+v", b2)
+	}
+	pwl := SoftmaxVariantOps("pwl", 5, 10)
+	if pwl.Exp != 0 || pwl.Add != 100+45 {
+		t.Fatalf("pwl ops = %+v", pwl)
+	}
+}
+
+func TestSquashVariantOpsShape(t *testing.T) {
+	// sqnorm drops the exact square root for one multiply and one add per
+	// vector (the LinearSqrt chord).
+	c := SquashVariantOps("sqnorm", 10, 8)
+	if c.Sqrt != 0 {
+		t.Fatalf("sqnorm still counts %g sqrts", c.Sqrt)
+	}
+	exact := SquashOps(10, 8)
+	if c.Mul != exact.Mul+10 || c.Add != exact.Add+10 || c.Div != exact.Div {
+		t.Fatalf("sqnorm ops = %+v vs exact %+v", c, exact)
+	}
+}
+
+func TestApproximateVariantsAreCheaperUnderTableI(t *testing.T) {
+	// The point of the approximations: under the paper's unit energies
+	// every variant must cost strictly less than its exact counterpart.
+	exactSm := Energy(SoftmaxOps(64, 10), TableI)
+	for _, name := range []string{"base2", "pwl"} {
+		if e := Energy(SoftmaxVariantOps(name, 64, 10), TableI); e >= exactSm {
+			t.Errorf("%s softmax energy %.3f pJ >= exact %.3f pJ", name, e, exactSm)
+		}
+	}
+	exactSq := Energy(SquashOps(64, 16), TableI)
+	if e := Energy(SquashVariantOps("sqnorm", 64, 16), TableI); e >= exactSq {
+		t.Errorf("sqnorm squash energy %.3f pJ >= exact %.3f pJ", e, exactSq)
+	}
+}

@@ -34,6 +34,30 @@ func (g *GroupSweepResult) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteCSV emits the fault campaign as
+// (arch, dataset, kind, group, severity, accuracy, drop).
+func (f *FaultSweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arch", "dataset", "kind", "group", "severity", "accuracy", "drop"}); err != nil {
+		return err
+	}
+	for _, gr := range f.Groups {
+		for _, p := range gr.Points {
+			rec := []string{
+				f.Benchmark.Arch, f.Benchmark.Dataset, f.Spec.String(), gr.Group.String(),
+				fmt.Sprintf("%g", p.NM),
+				fmt.Sprintf("%g", p.Accuracy),
+				fmt.Sprintf("%g", p.Drop),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCSV emits the layer-wise sweep as
 // (layer, group, nm, accuracy, drop, tolerated_nm).
 func (f *Fig10Result) WriteCSV(w io.Writer) error {

@@ -124,7 +124,7 @@ func (r *Runner) GroupSweep(b Benchmark, ov Overrides) (*GroupSweepResult, error
 	if err != nil {
 		return nil, err
 	}
-	opts := ov.apply(core.Options{
+	opts := ov.apply(r.nonlinearize(core.Options{
 		NMSweep:   core.PaperNMSweep,
 		Trials:    r.trials(),
 		Batch:     32,
@@ -132,7 +132,7 @@ func (r *Runner) GroupSweep(b Benchmark, ov Overrides) (*GroupSweepResult, error
 		Seed:      r.Cfg.Seed + 21,
 		MaxEval:   r.evalCap(),
 		Workers:   r.Cfg.Workers,
-	}).WithDefaults()
+	})).WithDefaults()
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
@@ -243,7 +243,7 @@ func (r *Runner) LayerSweep(b Benchmark, ov Overrides) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := ov.apply(core.Options{
+	opts := ov.apply(r.nonlinearize(core.Options{
 		NMSweep:   core.PaperNMSweep,
 		Trials:    r.trials(),
 		Batch:     32,
@@ -251,7 +251,7 @@ func (r *Runner) LayerSweep(b Benchmark, ov Overrides) (*Fig10Result, error) {
 		Seed:      r.Cfg.Seed + 22,
 		MaxEval:   r.evalCap(),
 		Workers:   r.Cfg.Workers,
-	}).WithDefaults()
+	})).WithDefaults()
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
@@ -318,14 +318,14 @@ func (r *Runner) Design(b Benchmark) (*DesignResult, error) {
 	// length closest to its layer's real MAC fan-in (Fig. 6).
 	profiles := core.ProfileLibraryDepths(
 		approx.EmpiricalDist(fig11.PoolA, fig11.PoolB), core.LibraryChainLens, samples, r.Cfg.Seed+9)
-	opts := core.Options{
+	opts := r.nonlinearize(core.Options{
 		Trials:    r.trials(),
 		Batch:     32,
 		Threshold: r.threshold(),
 		Seed:      r.Cfg.Seed + 23,
 		MaxEval:   r.evalCap(),
 		Workers:   r.Cfg.Workers,
-	}.WithDefaults()
+	}).WithDefaults()
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
@@ -352,14 +352,14 @@ func (r *Runner) RefineDesign(b Benchmark, d *DesignResult) (core.RefineResult, 
 	}
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(),
-		Opts: core.Options{
+		Opts: r.nonlinearize(core.Options{
 			Trials:    r.trials(),
 			Batch:     32,
 			Threshold: r.threshold(),
 			Seed:      r.Cfg.Seed + 24,
 			MaxEval:   r.evalCap(),
 			Workers:   r.Cfg.Workers,
-		},
+		}),
 	}
 	return a.Refine(r.ctx(), d.Report.Choices, d.profiles, d.Report.CleanAccuracy, r.threshold(), 50)
 }

@@ -80,6 +80,13 @@ type Config struct {
 	// local pool (core.Analyzer.Fleet). Results are byte-identical either
 	// way; a nil Fleet keeps everything in-process.
 	Fleet core.Fleet
+	// Softmax and Squash select the nonlinearity variants every analysis
+	// entry point evaluates under ("" or "exact" keeps the bit-exact
+	// operators; see approx.SoftmaxNames / approx.SquashNames). Non-default
+	// variants fold into checkpoint fingerprints, so approximate and exact
+	// runs never share a resume state.
+	Softmax string
+	Squash  string
 }
 
 // Benchmark is one (architecture, dataset) pair of the paper's Table II.
@@ -248,6 +255,16 @@ func (r *Runner) threshold() float64 {
 		return 0.02
 	}
 	return 0.01
+}
+
+// nonlinearize folds the configured softmax/squash variants into an
+// analysis option set. Every analyzer the runner builds goes through
+// here, so one Config selection applies uniformly across sweeps, designs
+// and validations.
+func (r *Runner) nonlinearize(opts core.Options) core.Options {
+	opts.Softmax = r.Cfg.Softmax
+	opts.Squash = r.Cfg.Squash
+	return opts
 }
 
 // trials is the number of noise seeds averaged per sweep point.

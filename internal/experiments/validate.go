@@ -129,14 +129,22 @@ func (r *Runner) Validate(b Benchmark, backendName string, bits uint) (*Validate
 	if maxEval > 100 {
 		maxEval = 100
 	}
-	opts := core.Options{
+	opts := r.nonlinearize(core.Options{
 		Trials:    r.trials(),
 		Batch:     32,
 		Threshold: r.threshold(),
 		Seed:      r.Cfg.Seed + 25,
 		MaxEval:   maxEval,
 		Workers:   r.Cfg.Workers,
-	}.WithDefaults()
+	}).WithDefaults()
+	// The prediction passes run under the same softmax/squash variants as
+	// the analyzer's measurements, so an approximate-nonlinearity
+	// validation compares like with like.
+	nl, err := core.ResolveNonlinearity(opts.Softmax, opts.Squash)
+	if err != nil {
+		return nil, err
+	}
+	predBe := caps.WithNonlinearity(caps.Float{}, nl)
 	a := &core.Analyzer{
 		Net: t.Net, Data: t.Data, Obs: r.obs(), Opts: opts,
 		Checkpoint: r.analysisCheckpoint(b, opts),
@@ -176,7 +184,7 @@ func (r *Runner) Validate(b Benchmark, backendName string, bits uint) (*Validate
 			}
 		}
 		inj := core.NewPerSiteInjector(subset, opts.Seed+777)
-		predicted, err := caps.AccuracyExec(ctx, t.Net, x, y, inj, caps.Float{}, opts.Batch, opts.Workers)
+		predicted, err := caps.AccuracyExec(ctx, t.Net, x, y, inj, predBe, opts.Batch, opts.Workers)
 		if err != nil {
 			return err
 		}

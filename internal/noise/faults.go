@@ -23,6 +23,7 @@ type BitFlip struct {
 	// Bits is the word length (default 8 when zero).
 	Bits   uint
 	filter Filter
+	seed   uint64
 	rng    *rand.Rand
 }
 
@@ -34,7 +35,15 @@ func NewBitFlip(prob float64, bits uint, filter Filter, seed uint64) *BitFlip {
 	if bits == 0 {
 		bits = 8
 	}
-	return &BitFlip{Prob: prob, Bits: bits, filter: filter, rng: tensor.NewRNG(seed)}
+	return &BitFlip{Prob: prob, Bits: bits, filter: filter, seed: seed, rng: tensor.NewRNG(seed)}
+}
+
+// Split implements Splitter: transient faults are independent across
+// batches, so stream i draws from an RNG seeded by StreamSeed(seed, i) —
+// the same counter scheme as the Gaussian injector, making parallel
+// evaluation bit-identical to serial for any worker count.
+func (f *BitFlip) Split(stream uint64) Injector {
+	return NewBitFlip(f.Prob, f.Bits, f.filter, StreamSeed(f.seed, stream))
 }
 
 // Inject implements Injector.
@@ -82,6 +91,13 @@ func NewStuckAt(fraction float64, one bool, filter Filter, seed uint64) *StuckAt
 	}
 	return &StuckAt{Fraction: fraction, One: one, filter: filter, seed: seed}
 }
+
+// Split implements Splitter by returning the receiver: permanent faults
+// model defective cells at fixed addresses, so every batch — every
+// stream — must see the same stuck elements. Inject derives its RNG per
+// call from (seed, site) alone, so the shared receiver is safe for
+// concurrent use.
+func (f *StuckAt) Split(uint64) Injector { return f }
 
 // Inject implements Injector. Fault positions depend only on (site, seed),
 // not on call order, modeling defective cells at fixed addresses.

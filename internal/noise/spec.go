@@ -1,0 +1,131 @@
+package noise
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file promotes the injector kind to a first-class sweep dimension.
+// A Spec names which error source a sweep injects — the paper's Gaussian
+// approximation-noise model or one of the Sec. II-C fault models — so the
+// same severity grid, counter-seeding scheme, checkpoint fingerprints and
+// fleet windows drive approximation-noise and fault campaigns uniformly.
+
+// Injector kind names accepted by Spec.
+const (
+	KindGaussian = "gaussian"   // the paper's Eq. 3–4 noise model
+	KindBitFlip  = "bit-flip"   // transient faults: random single-bit flips
+	KindStuckAt0 = "stuck-at-0" // permanent faults: cells stuck at the min code
+	KindStuckAt1 = "stuck-at-1" // permanent faults: cells stuck at the max code
+)
+
+// Kinds lists the accepted injector kinds.
+func Kinds() []string {
+	return []string{KindGaussian, KindBitFlip, KindStuckAt0, KindStuckAt1}
+}
+
+// Spec selects an injector kind for a sweep. The zero value is the
+// Gaussian noise model, which keeps every pre-existing option set,
+// checkpoint fingerprint and wire form meaning exactly what it meant
+// before the kind became a dimension.
+type Spec struct {
+	// Kind names the injector: gaussian (default when empty), bit-flip,
+	// stuck-at-0 or stuck-at-1.
+	Kind string `json:"kind,omitempty"`
+	// Bits is the word length bit flips act on (bit-flip only; default 8).
+	Bits uint `json:"bits,omitempty"`
+}
+
+// IsGaussian reports whether the spec selects the default Gaussian model.
+func (s Spec) IsGaussian() bool {
+	k := strings.ToLower(strings.TrimSpace(s.Kind))
+	return k == "" || k == KindGaussian
+}
+
+// Normalize canonicalizes the spec (lowercased kind, bit-flip word length
+// defaulted) and rejects unknown kinds and out-of-range word lengths.
+// Errors are user errors: they name the valid kinds.
+func (s Spec) Normalize() (Spec, error) {
+	s.Kind = strings.ToLower(strings.TrimSpace(s.Kind))
+	if s.Kind == "" {
+		s.Kind = KindGaussian
+	}
+	known := false
+	for _, k := range Kinds() {
+		if s.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Spec{}, fmt.Errorf("unknown injector kind %q (valid: %s)",
+			s.Kind, strings.Join(Kinds(), ", "))
+	}
+	if s.Kind != KindBitFlip {
+		if s.Bits != 0 {
+			return Spec{}, fmt.Errorf("bits applies only to bit-flip injectors, not %q", s.Kind)
+		}
+		return s, nil
+	}
+	if s.Bits == 0 {
+		s.Bits = 8
+	}
+	if s.Bits > 16 {
+		return Spec{}, fmt.Errorf("bit-flip bits = %d out of range (1..16)", s.Bits)
+	}
+	return s, nil
+}
+
+// String renders the canonical kind, with the word length for bit flips
+// ("bit-flip/8"). Used in fingerprints and report headers.
+func (s Spec) String() string {
+	n, err := s.Normalize()
+	if err != nil {
+		return s.Kind
+	}
+	if n.Kind == KindBitFlip {
+		return fmt.Sprintf("%s/%d", n.Kind, n.Bits)
+	}
+	return n.Kind
+}
+
+// SeverityLabel names what the sweep grid's severity axis means for this
+// kind: the Gaussian noise magnitude, the per-element flip probability,
+// or the stuck-cell fraction.
+func (s Spec) SeverityLabel() string {
+	n, err := s.Normalize()
+	if err != nil {
+		return "severity"
+	}
+	switch n.Kind {
+	case KindBitFlip:
+		return "P(flip)"
+	case KindStuckAt0, KindStuckAt1:
+		return "fraction"
+	default:
+		return "NM"
+	}
+}
+
+// Injector builds the kind's injector at one severity on the filtered
+// sites. severity is the grid value: NM for gaussian, the per-element
+// flip probability for bit-flip, the stuck fraction for stuck-at. na
+// applies only to the Gaussian model and is ignored by the fault kinds.
+// An unknown kind falls back to the Gaussian model so misconfigured
+// callers fail loudly in validation, not silently here.
+func (s Spec) Injector(severity, na float64, filter Filter, seed uint64) Injector {
+	n, err := s.Normalize()
+	if err != nil {
+		n = Spec{Kind: KindGaussian}
+	}
+	switch n.Kind {
+	case KindBitFlip:
+		return NewBitFlip(severity, n.Bits, filter, seed)
+	case KindStuckAt0:
+		return NewStuckAt(severity, false, filter, seed)
+	case KindStuckAt1:
+		return NewStuckAt(severity, true, filter, seed)
+	default:
+		return NewGaussian(severity, na, filter, seed)
+	}
+}

@@ -1,0 +1,144 @@
+package noise
+
+import (
+	"strings"
+	"testing"
+
+	"redcane/internal/tensor"
+)
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	// The zero value is the Gaussian model: normalizing it must not
+	// invent a bit width or change the kind's meaning.
+	n, err := Spec{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != KindGaussian || n.Bits != 0 {
+		t.Fatalf("zero spec normalized to %+v", n)
+	}
+	if !(Spec{}).IsGaussian() || !(Spec{Kind: "GAUSSIAN"}).IsGaussian() {
+		t.Fatal("gaussian specs not recognized")
+	}
+
+	// Kinds are case- and whitespace-insensitive; bit-flip defaults its
+	// word length.
+	n, err = Spec{Kind: " Bit-Flip "}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != KindBitFlip || n.Bits != 8 {
+		t.Fatalf("bit-flip normalized to %+v", n)
+	}
+}
+
+func TestSpecNormalizeRejections(t *testing.T) {
+	// Unknown kinds error naming every valid kind — the user-facing 400.
+	_, err := Spec{Kind: "cosmic-ray"}.Normalize()
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, k := range Kinds() {
+		if !strings.Contains(err.Error(), k) {
+			t.Fatalf("error %q does not list kind %q", err, k)
+		}
+	}
+	if _, err := (Spec{Kind: KindBitFlip, Bits: 17}).Normalize(); err == nil {
+		t.Fatal("17-bit flips accepted")
+	}
+	if _, err := (Spec{Kind: KindStuckAt0, Bits: 4}).Normalize(); err == nil {
+		t.Fatal("bits accepted on a stuck-at spec")
+	}
+}
+
+func TestSpecStringAndSeverityLabel(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		str   string
+		label string
+	}{
+		{Spec{}, "gaussian", "NM"},
+		{Spec{Kind: KindBitFlip}, "bit-flip/8", "P(flip)"},
+		{Spec{Kind: KindBitFlip, Bits: 4}, "bit-flip/4", "P(flip)"},
+		{Spec{Kind: KindStuckAt0}, "stuck-at-0", "fraction"},
+		{Spec{Kind: KindStuckAt1}, "stuck-at-1", "fraction"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.str {
+			t.Errorf("%+v.String() = %q, want %q", c.spec, got, c.str)
+		}
+		if got := c.spec.SeverityLabel(); got != c.label {
+			t.Errorf("%+v.SeverityLabel() = %q, want %q", c.spec, got, c.label)
+		}
+	}
+}
+
+func TestSpecInjectorDispatch(t *testing.T) {
+	if _, ok := (Spec{}).Injector(0.1, 0.01, nil, 1).(*Gaussian); !ok {
+		t.Fatal("gaussian spec did not build a Gaussian injector")
+	}
+	bf, ok := Spec{Kind: KindBitFlip, Bits: 4}.Injector(0.1, 0, nil, 1).(*BitFlip)
+	if !ok || bf.Prob != 0.1 || bf.Bits != 4 {
+		t.Fatalf("bit-flip spec built %#v", bf)
+	}
+	s0, ok := Spec{Kind: KindStuckAt0}.Injector(0.2, 0, nil, 1).(*StuckAt)
+	if !ok || s0.Fraction != 0.2 || s0.One {
+		t.Fatalf("stuck-at-0 spec built %#v", s0)
+	}
+	s1, ok := Spec{Kind: KindStuckAt1}.Injector(0.2, 0, nil, 1).(*StuckAt)
+	if !ok || !s1.One {
+		t.Fatalf("stuck-at-1 spec built %#v", s1)
+	}
+}
+
+// injectOnce applies inj's stream-split form to a fixed tensor and
+// returns the perturbed data.
+func injectOnce(inj Injector, stream uint64) []float64 {
+	x := tensor.New(64).FillUniform(tensor.NewRNG(9), -1, 1)
+	split := inj
+	if sp, ok := inj.(Splitter); ok {
+		split = sp.Split(stream)
+	}
+	return split.Inject(Site{Layer: "L", Group: MACOutputs}, x).Data
+}
+
+func TestBitFlipSplitIsCounterSeeded(t *testing.T) {
+	// The engine invariant behind worker-count independence: Split(i) is
+	// a pure function of (seed, i), so re-splitting reproduces the stream
+	// bit-for-bit, and distinct streams draw distinct faults.
+	inj := NewBitFlip(0.5, 8, nil, 42)
+	a := injectOnce(inj, 3)
+	b := injectOnce(NewBitFlip(0.5, 8, nil, 42), 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream 3 not reproducible at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	c := injectOnce(NewBitFlip(0.5, 8, nil, 42), 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("streams 3 and 4 drew identical faults")
+	}
+}
+
+func TestStuckAtSplitIsPermanent(t *testing.T) {
+	// Permanent faults model defective cells: every stream must see the
+	// same stuck elements, so Split returns the receiver.
+	inj := NewStuckAt(0.3, true, nil, 42)
+	if inj.Split(1) != Injector(inj) || inj.Split(2) != Injector(inj) {
+		t.Fatal("StuckAt.Split did not return the receiver")
+	}
+	a := injectOnce(inj, 1)
+	b := injectOnce(inj, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stuck cells differ across streams at %d", i)
+		}
+	}
+}

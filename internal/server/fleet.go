@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"redcane/internal/core"
+	"redcane/internal/noise"
 	"redcane/internal/obs"
 )
 
@@ -42,12 +43,21 @@ type SweepOptions struct {
 	Threshold float64   `json:"threshold"`
 	Seed      uint64    `json:"seed"`
 	MaxEval   int       `json:"max_eval"`
+	// NoiseKind / NoiseBits carry the injector spec of fault campaigns;
+	// Softmax / Squash the nonlinearity variants. All four are empty on
+	// default jobs, so pre-existing coordinators and workers interoperate.
+	NoiseKind string `json:"noise_kind,omitempty"`
+	NoiseBits uint   `json:"noise_bits,omitempty"`
+	Softmax   string `json:"softmax,omitempty"`
+	Squash    string `json:"squash,omitempty"`
 }
 
 func optionsWire(o core.Options) SweepOptions {
 	return SweepOptions{
 		NMSweep: o.NMSweep, NA: o.NA, Trials: o.Trials, Batch: o.Batch,
 		Threshold: o.Threshold, Seed: o.Seed, MaxEval: o.MaxEval,
+		NoiseKind: o.Noise.Kind, NoiseBits: o.Noise.Bits,
+		Softmax: o.Softmax, Squash: o.Squash,
 	}
 }
 
@@ -57,6 +67,8 @@ func (w SweepOptions) CoreOptions(workers int) core.Options {
 	return core.Options{
 		NMSweep: w.NMSweep, NA: w.NA, Trials: w.Trials, Batch: w.Batch,
 		Threshold: w.Threshold, Seed: w.Seed, MaxEval: w.MaxEval,
+		Noise:   noise.Spec{Kind: w.NoiseKind, Bits: w.NoiseBits},
+		Softmax: w.Softmax, Squash: w.Squash,
 		Workers: workers,
 	}.WithDefaults()
 }

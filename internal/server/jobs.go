@@ -12,6 +12,7 @@ import (
 
 	"redcane/internal/core"
 	"redcane/internal/experiments"
+	"redcane/internal/noise"
 	"redcane/internal/obs"
 )
 
@@ -24,10 +25,11 @@ const (
 	KindLayerSweep  = "layer-sweep" // Steps 1–5 (Fig. 10)
 	KindMethodology = "methodology" // the full 6-step design run
 	KindValidate    = "validate"    // bit-accurate error-model validation
+	KindFaultSweep  = "fault-sweep" // group-wise fault campaign (bit flips, stuck-at)
 )
 
 // JobKinds lists the accepted job kinds.
-var JobKinds = []string{KindGroupSweep, KindLayerSweep, KindMethodology, KindValidate}
+var JobKinds = []string{KindGroupSweep, KindLayerSweep, KindMethodology, KindValidate, KindFaultSweep}
 
 // JobSpec is the POST /v1/jobs request body: what to analyze and under
 // which results-affecting knobs. Scheduling knobs (workers, queue) are
@@ -48,9 +50,21 @@ type JobSpec struct {
 	Bits    uint   `json:"bits,omitempty"`
 	// NMSweep overrides the noise-magnitude grid of sweep jobs; NA the
 	// noise average. Empty keeps the paper defaults, which is what makes
-	// an overrides-free job byte-identical to the CLI experiment.
+	// an overrides-free job byte-identical to the CLI experiment. For
+	// fault-sweep jobs the grid is the severity grid (flip probability or
+	// stuck fraction).
 	NMSweep []float64 `json:"nm_sweep,omitempty"`
 	NA      float64   `json:"na,omitempty"`
+	// Fault and FaultBits select the injector of fault-sweep jobs
+	// (default bit-flip at 8 bits; see noise.Kinds); rejected for other
+	// kinds.
+	Fault     string `json:"fault,omitempty"`
+	FaultBits uint   `json:"fault_bits,omitempty"`
+	// Softmax and Squash select the nonlinearity variants the job
+	// evaluates under ("" or "exact" keeps the bit-exact operators; see
+	// approx.SoftmaxNames / approx.SquashNames). Valid for every kind.
+	Softmax string `json:"softmax,omitempty"`
+	Squash  string `json:"squash,omitempty"`
 	// Probes enables the numeric-health probes: per-layer activation
 	// statistics collected at every sweep point, served as the "probes"
 	// result format. Probing is inert — the text/CSV/JSON artifacts stay
@@ -137,6 +151,27 @@ func (spec *JobSpec) normalize() error {
 		}
 	} else if spec.Backend != "" || spec.Bits != 0 {
 		return fmt.Errorf("backend/bits apply only to validate jobs")
+	}
+	if spec.Kind == KindFaultSweep {
+		if spec.Fault == "" {
+			spec.Fault = noise.KindBitFlip
+		}
+		ns, err := (noise.Spec{Kind: spec.Fault, Bits: spec.FaultBits}).Normalize()
+		if err != nil {
+			return err
+		}
+		spec.Fault, spec.FaultBits = ns.Kind, ns.Bits
+	} else if spec.Fault != "" || spec.FaultBits != 0 {
+		return fmt.Errorf("fault/fault_bits apply only to fault-sweep jobs")
+	}
+	if _, err := core.ResolveNonlinearity(spec.Softmax, spec.Squash); err != nil {
+		return err
+	}
+	if spec.Softmax == "exact" {
+		spec.Softmax = ""
+	}
+	if spec.Squash == "exact" {
+		spec.Squash = ""
 	}
 	return nil
 }
@@ -244,6 +279,8 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 		TrainMu:       &s.trainMu,
 		Probes:        probes,
 		Fleet:         fleet,
+		Softmax:       spec.Softmax,
+		Squash:        spec.Squash,
 	})
 	ov := experiments.Overrides{NMSweep: spec.NMSweep, NA: spec.NA}
 	var art Artifacts
@@ -276,6 +313,14 @@ func (s *Server) runSpec(ctx context.Context, spec JobSpec, jobDir string, o *ob
 		art = Artifacts{Text: d.Render(), JSON: buf.Bytes()}
 	case KindValidate:
 		res, err := r.Validate(b, spec.Backend, spec.Bits)
+		if err != nil {
+			return Artifacts{}, err
+		}
+		if art, err = artifactsFor(res); err != nil {
+			return Artifacts{}, err
+		}
+	case KindFaultSweep:
+		res, err := r.FaultSweep(b, noise.Spec{Kind: spec.Fault, Bits: spec.FaultBits}, ov)
 		if err != nil {
 			return Artifacts{}, err
 		}

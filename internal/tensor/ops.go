@@ -5,11 +5,11 @@ import (
 	"math"
 )
 
-// axisStrides computes, for a reduction/normalization along `axis` of a
+// AxisStrides computes, for a reduction/normalization along `axis` of a
 // tensor with the given shape, the iteration decomposition
 // (outer, axisLen, inner) such that the flat index of element
 // (o, a, i) is (o*axisLen+a)*inner + i.
-func axisStrides(shape []int, axis int) (outer, axisLen, inner int) {
+func AxisStrides(shape []int, axis int) (outer, axisLen, inner int) {
 	if axis < 0 || axis >= len(shape) {
 		panic(fmt.Sprintf("tensor: axis %d out of range for shape %v", axis, shape))
 	}
@@ -27,7 +27,7 @@ func axisStrides(shape []int, axis int) (outer, axisLen, inner int) {
 // SumAxis sums t along the given axis, producing a tensor whose shape is t's
 // shape with that axis removed (rank reduced by one).
 func SumAxis(t *Tensor, axis int) *Tensor {
-	outer, n, inner := axisStrides(t.Shape, axis)
+	outer, n, inner := AxisStrides(t.Shape, axis)
 	shape := make([]int, 0, len(t.Shape)-1)
 	shape = append(shape, t.Shape[:axis]...)
 	shape = append(shape, t.Shape[axis+1:]...)
@@ -47,7 +47,7 @@ func SumAxis(t *Tensor, axis int) *Tensor {
 // Softmax computes the softmax of t along the given axis, returning a new
 // tensor of the same shape. It is numerically stabilized by max-subtraction.
 func Softmax(t *Tensor, axis int) *Tensor {
-	outer, n, inner := axisStrides(t.Shape, axis)
+	outer, n, inner := AxisStrides(t.Shape, axis)
 	out := New(t.Shape...)
 	for o := 0; o < outer; o++ {
 		for i := 0; i < inner; i++ {
@@ -80,7 +80,7 @@ func Softmax(t *Tensor, axis int) *Tensor {
 // orientation (Sabour et al., NIPS 2017). eps guards the zero vector.
 func Squash(t *Tensor, axis int) *Tensor {
 	const eps = 1e-12
-	outer, n, inner := axisStrides(t.Shape, axis)
+	outer, n, inner := AxisStrides(t.Shape, axis)
 	out := New(t.Shape...)
 	for o := 0; o < outer; o++ {
 		for i := 0; i < inner; i++ {
@@ -109,7 +109,7 @@ func Squash(t *Tensor, axis int) *Tensor {
 // radial-tangential decomposition.
 func SquashBackward(x, gy *Tensor, axis int) *Tensor {
 	const eps = 1e-12
-	outer, n, inner := axisStrides(x.Shape, axis)
+	outer, n, inner := AxisStrides(x.Shape, axis)
 	gx := New(x.Shape...)
 	for o := 0; o < outer; o++ {
 		for i := 0; i < inner; i++ {
@@ -164,7 +164,7 @@ func ReLUBackward(x, gy *Tensor) *Tensor {
 // NormAxis returns the Euclidean norm of each vector along `axis`
 // (shape = t's shape with that axis removed).
 func NormAxis(t *Tensor, axis int) *Tensor {
-	outer, n, inner := axisStrides(t.Shape, axis)
+	outer, n, inner := AxisStrides(t.Shape, axis)
 	shape := make([]int, 0, len(t.Shape)-1)
 	shape = append(shape, t.Shape[:axis]...)
 	shape = append(shape, t.Shape[axis+1:]...)

@@ -1,0 +1,96 @@
+#!/bin/sh
+# Fault-campaign smoke test: a bit-flip fault sweep run through the CLI
+# and through the HTTP job service must produce byte-identical CSV and
+# text artifacts — proving the injector spec survives the JobSpec wire
+# format and the fingerprint keeps fault campaigns apart from Gaussian
+# sweeps.
+#
+#   scripts/fault_smoke.sh [workdir]
+#
+# Needs curl and jq (both present on the CI runners).
+set -eu
+
+work=${1:-$(mktemp -d)}
+bin="$work/redcane"
+clidir="$work/cli-cache"
+srvdir="$work/srv-cache"
+addr=127.0.0.1:18323
+base="http://$addr"
+mkdir -p "$clidir" "$srvdir"
+
+go build -o "$bin" ./cmd/redcane
+
+common="-quick -seed 42 -log-level info"
+
+echo "== CLI reference fault sweep =="
+"$bin" $common -dir "$clidir" -csv "$work/cli-csv" experiment faults-capsnet-mnist-like \
+    > "$work/cli.txt"
+
+start_server() {
+    "$bin" $common -dir "$srvdir" serve -addr "$addr" &
+    pid=$!
+    i=0
+    while ! curl -sf "$base/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ] || ! kill -0 "$pid" 2>/dev/null; then
+            echo "FAIL: server never became healthy"
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_terminal() { # $1 = job id; prints the terminal state
+    i=0
+    while [ "$i" -lt 3000 ]; do
+        state=$(curl -sf "$base/v1/jobs/$1" | jq -r .state)
+        case "$state" in
+        done|failed|cancelled) echo "$state"; return 0 ;;
+        esac
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "timeout"
+}
+
+echo "== server run of the same fault sweep =="
+start_server
+
+# An unknown injector kind must bounce with a 400 that names the valid
+# kinds, before any work is queued.
+code=$(curl -s -o "$work/badkind.json" -w '%{http_code}' -X POST "$base/v1/jobs" \
+    -d '{"kind":"fault-sweep","fault":"cosmic-ray"}')
+if [ "$code" != "400" ] || ! grep -q 'bit-flip' "$work/badkind.json"; then
+    echo "FAIL: unknown injector kind returned HTTP $code"
+    cat "$work/badkind.json"
+    exit 1
+fi
+echo "PASS: unknown injector kind rejected with the valid-kind list"
+
+job=$(curl -sf -X POST "$base/v1/jobs" \
+    -d '{"kind":"fault-sweep","fault":"bit-flip","benchmark":"capsnet-mnist-like"}' | jq -r .id)
+echo "submitted job $job"
+state=$(wait_terminal "$job")
+if [ "$state" != "done" ]; then
+    echo "FAIL: job $job ended as $state"
+    curl -sf "$base/v1/jobs/$job" || true
+    exit 1
+fi
+
+curl -sf "$base/v1/jobs/$job/result?format=csv" > "$work/http.csv"
+curl -sf "$base/v1/jobs/$job/result?format=text" > "$work/http.txt"
+if ! cmp -s "$work/cli-csv/faults-capsnet-mnist-like.csv" "$work/http.csv"; then
+    echo "FAIL: HTTP CSV artifact differs from the CLI fault sweep"
+    diff "$work/cli-csv/faults-capsnet-mnist-like.csv" "$work/http.csv" || true
+    exit 1
+fi
+if ! cmp -s "$work/cli.txt" "$work/http.txt"; then
+    echo "FAIL: HTTP text artifact differs from the CLI fault sweep"
+    diff "$work/cli.txt" "$work/http.txt" || true
+    exit 1
+fi
+echo "PASS: HTTP fault-sweep artifacts byte-identical to the CLI run"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: drain exited non-zero"; exit 1; }
+echo "PASS: fault-campaign smoke complete"
