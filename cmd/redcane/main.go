@@ -29,10 +29,16 @@
 //	energy                    the energy analysis bundle (table1 + fig4 + fig5)
 //	serve                     long-running HTTP/JSON analysis job service
 //	                          (serve flags: -addr :8080, -queue 16, -slots 2,
-//	                          -lease-ttl 30s for distributed sweep leases)
+//	                          -lease-ttl 30s for distributed sweep leases,
+//	                          -keys file for multi-tenant API keys with
+//	                          per-tenant quotas and rate limits)
 //	worker                    join a coordinator's fleet and evaluate leased
 //	                          sweep windows (worker flags: -join URL required,
 //	                          -name worker-<pid>, -poll 500ms)
+//	client                    drive a running service over its HTTP API:
+//	                          submit/status/result/cancel/list/health
+//	                          (client flags: -server URL, -key K, -format,
+//	                          -wait, -poll)
 //	list                      list benchmarks and experiment ids
 //
 // Flags:
@@ -78,6 +84,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -368,10 +375,16 @@ commands:
   serve                     HTTP/JSON analysis job service over -dir; jobs
                             checkpoint and resume across restarts
                             (serve flags: -addr :8080, -queue 16, -slots 2,
-                            -lease-ttl 30s for distributed sweep leases)
+                            -lease-ttl 30s for distributed sweep leases,
+                            -keys file for multi-tenant API keys)
   worker                    join a coordinator's fleet and evaluate leased
                             sweep windows (worker flags: -join URL required,
                             -name worker-<pid>, -poll 500ms)
+  client                    drive a running service over its HTTP API:
+                            submit <spec.json|->, status/result/cancel <id>,
+                            list, health (client flags: -server URL, -key K,
+                            -format text|csv|json|probes|probes-csv,
+                            -wait, -poll 500ms)
   list                      benchmarks and experiment ids
 
 flags:
@@ -536,6 +549,8 @@ func (c *cli) run(w io.Writer, cmd string, args []string) error {
 		return c.serve(w, args)
 	case "worker":
 		return c.worker(w, args)
+	case "client":
+		return c.clientCmd(w, args)
 	case "list":
 		fmt.Fprintln(w, "benchmarks:")
 		for _, b := range experiments.Benchmarks {
@@ -568,16 +583,25 @@ func (c *cli) serve(w io.Writer, args []string) error {
 	slots := fs.Int("slots", 2, "jobs running concurrently (each gets -workers/-slots goroutines)")
 	leaseTTL := fs.Duration("lease-ttl", server.DefaultLeaseTTL,
 		"fleet lease lifetime before an unrenewed window is re-issued")
+	keysPath := fs.String("keys", "",
+		"API-key file enabling multi-tenant mode ({\"tenants\":[{\"name\",\"key\",\"max_queued\",\"rate_per_min\"}]}); empty = anonymous")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no arguments, got %q", fs.Args())
 	}
+	var auth *server.Auth
+	if *keysPath != "" {
+		var err error
+		if auth, err = server.LoadKeys(*keysPath); err != nil {
+			return err
+		}
+	}
 	srv, err := server.New(server.Config{
 		StateDir: c.cfg.Dir, Quick: c.cfg.Quick, Seed: c.cfg.Seed,
 		Workers: c.cfg.Workers, Slots: *slots, QueueCap: *queue, Obs: c.obs,
-		LeaseTTL: *leaseTTL,
+		LeaseTTL: *leaseTTL, Auth: auth,
 	})
 	if err != nil {
 		return err
@@ -649,6 +673,129 @@ func (c *cli) worker(w io.Writer, args []string) error {
 	}
 	fmt.Fprintln(w, "redcane worker left the fleet")
 	return nil
+}
+
+// clientCmd drives a running analysis service over its HTTP API:
+//
+//	redcane client -server URL [-key K] submit <spec.json|->  (- = stdin)
+//	redcane client -server URL [-key K] status|result|cancel <job-id>
+//	redcane client -server URL [-key K] list|health
+//
+// submit prints the created job's status; with -wait it polls until the
+// job finishes and then prints the result artifact (-format selects
+// which). Exit code 1 on any API error, including a failed job.
+func (c *cli) clientCmd(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("client", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "analysis-service base URL")
+	key := fs.String("key", "", "API key (Authorization: Bearer) for a -keys server")
+	format := fs.String("format", "", "result artifact format: text|csv|json|probes|probes-csv (default text)")
+	wait := fs.Bool("wait", false, "submit only: poll until the job finishes, then print its result")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("client wants an action: submit, status, result, cancel, list, health")
+	}
+	cl := server.NewClient(*serverURL, *key)
+	action, rest := fs.Arg(0), fs.Args()[1:]
+	jsonOut := func(v any) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(v)
+	}
+	oneArg := func(what string) (string, error) {
+		if len(rest) != 1 {
+			return "", fmt.Errorf("client %s wants exactly one %s", action, what)
+		}
+		return rest[0], nil
+	}
+	switch action {
+	case "submit":
+		path, err := oneArg("spec file (or - for stdin)")
+		if err != nil {
+			return err
+		}
+		var data []byte
+		if path == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		if err != nil {
+			return err
+		}
+		var spec server.JobSpec
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return fmt.Errorf("invalid job spec: %w", err)
+		}
+		st, err := cl.Submit(c.ctx, spec)
+		if err != nil {
+			return err
+		}
+		if !*wait {
+			return jsonOut(st)
+		}
+		if st, err = cl.Wait(c.ctx, st.ID, *poll); err != nil {
+			return err
+		}
+		if st.State != server.StateDone {
+			return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		res, err := cl.Result(c.ctx, st.ID, *format)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(res)
+		return err
+	case "status":
+		id, err := oneArg("job id")
+		if err != nil {
+			return err
+		}
+		st, err := cl.Status(c.ctx, id)
+		if err != nil {
+			return err
+		}
+		return jsonOut(st)
+	case "result":
+		id, err := oneArg("job id")
+		if err != nil {
+			return err
+		}
+		res, err := cl.Result(c.ctx, id, *format)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(res)
+		return err
+	case "cancel":
+		id, err := oneArg("job id")
+		if err != nil {
+			return err
+		}
+		st, err := cl.Cancel(c.ctx, id)
+		if err != nil {
+			return err
+		}
+		return jsonOut(st)
+	case "list":
+		sts, err := cl.List(c.ctx)
+		if err != nil {
+			return err
+		}
+		return jsonOut(sts)
+	case "health":
+		h, err := cl.ServerHealth(c.ctx)
+		if err != nil {
+			return err
+		}
+		return jsonOut(h)
+	default:
+		return fmt.Errorf("unknown client action %q (valid: submit, status, result, cancel, list, health)", action)
+	}
 }
 
 // renderer is any experiment result.

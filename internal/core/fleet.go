@@ -71,7 +71,7 @@ type SweepJob struct {
 	// within one analysis.
 	Key string `json:"key"`
 	// SeedBase namespaces the sweep's RNG streams (noise.StreamSeed).
-	SeedBase uint64 `json:"seed_base"`
+	SeedBase uint64     `json:"seed_base"`
 	Scope    SweepScope `json:"scope"`
 	Opts     Options    `json:"opts"`
 	// Evals is the number of noisy (point, trial) evaluations; every
@@ -79,6 +79,10 @@ type SweepJob struct {
 	Evals int `json:"evals"`
 	// NB is the total batch count of the evaluation split.
 	NB int `json:"nb"`
+	// Examples is the evaluation-split size, which bounds each window's
+	// correct counts (the last batch is usually short of Opts.Batch); the
+	// coordinator uses it to reject impossible completions.
+	Examples int `json:"examples"`
 	// Window is the lease granularity in batches (>= 1).
 	Window int `json:"window"`
 }
@@ -216,7 +220,7 @@ func (a *Analyzer) sweepFleet(ctx context.Context, scope SweepScope, clean float
 	if startBatch < nb {
 		job := SweepJob{
 			Key: ckey, SeedBase: seedBase, Scope: scope,
-			Opts: o, Evals: len(evals), NB: nb, Window: 1,
+			Opts: o, Evals: len(evals), NB: nb, Examples: n, Window: 1,
 		}
 		start := time.Now()
 		a.Obs.Counter("sweep.sweeps").Inc()

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the multi-tenant admission layer: API keys, per-tenant
+// queue quotas and submission rate limits. It is deliberately optional
+// — a server built without an Auth table (no -keys flag) runs in the
+// anonymous single-tenant mode the service always had: no credential
+// checks, no per-tenant limits, no new metric series, byte-identical
+// behavior. With a key table, every submission must carry a known key
+// (Authorization: Bearer <key> or X-API-Key: <key>); quota and rate
+// violations answer 429 so clients back off instead of growing the
+// queue, and each tenant's admissions show up as
+// server.tenant.<name>.* counters in /metricsz.
+
+// Tenant is one API key's identity and limits, as declared in the keys
+// file.
+type Tenant struct {
+	// Name labels the tenant in job statuses, logs and metric series
+	// (sanitized for the latter). Required, unique.
+	Name string `json:"name"`
+	// Key is the bearer credential. Required, unique.
+	Key string `json:"key"`
+	// MaxQueued bounds the tenant's queued-but-not-running jobs
+	// (0 = no per-tenant bound; the server-wide queue cap still applies).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// RatePerMin bounds the tenant's submissions per minute as a token
+	// bucket with burst = RatePerMin (0 = unlimited).
+	RatePerMin int `json:"rate_per_min,omitempty"`
+}
+
+// keysFile is the on-disk shape of the -keys flag.
+type keysFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// ErrUnauthorized reports a submission without a valid API key on a
+// keyed server (HTTP 401).
+var ErrUnauthorized = errors.New("server: missing or unknown API key")
+
+// ErrRateLimited reports a submission bouncing off its tenant's rate
+// limit (HTTP 429).
+var ErrRateLimited = errors.New("server: tenant rate limit exceeded")
+
+// ErrTenantQuota reports a submission bouncing off its tenant's queued
+// job quota (HTTP 429).
+var ErrTenantQuota = errors.New("server: tenant queue quota exceeded")
+
+// Auth is the API-key table of a multi-tenant server, plus the
+// per-tenant rate-limiter state. Nil *Auth means anonymous
+// single-tenant mode.
+type Auth struct {
+	now func() time.Time // test seam
+
+	mu    sync.Mutex
+	byKey map[string]*tenantBucket
+}
+
+// tenantBucket pairs a tenant with its token-bucket rate state.
+type tenantBucket struct {
+	t      Tenant
+	tokens float64
+	last   time.Time
+}
+
+// NewAuth builds a key table from a tenant list, validating uniqueness.
+func NewAuth(tenants []Tenant) (*Auth, error) {
+	if len(tenants) == 0 {
+		return nil, errors.New("server: keys file declares no tenants")
+	}
+	a := &Auth{now: time.Now, byKey: make(map[string]*tenantBucket, len(tenants))}
+	names := map[string]bool{}
+	for _, t := range tenants {
+		if t.Name == "" || t.Key == "" {
+			return nil, fmt.Errorf("server: tenant %+v needs both a name and a key", t)
+		}
+		if t.MaxQueued < 0 || t.RatePerMin < 0 {
+			return nil, fmt.Errorf("server: tenant %q has negative limits", t.Name)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("server: duplicate tenant name %q", t.Name)
+		}
+		if _, dup := a.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("server: duplicate API key (tenant %q)", t.Name)
+		}
+		names[t.Name] = true
+		a.byKey[t.Key] = &tenantBucket{t: t, tokens: float64(t.RatePerMin)}
+	}
+	return a, nil
+}
+
+// LoadKeys reads a -keys file: {"tenants":[{"name","key","max_queued",
+// "rate_per_min"},...]}.
+func LoadKeys(path string) (*Auth, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: keys file: %w", err)
+	}
+	var kf keysFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&kf); err != nil {
+		return nil, fmt.Errorf("server: keys file %s: %w", path, err)
+	}
+	return NewAuth(kf.Tenants)
+}
+
+// Authenticate resolves an API key to its tenant. An empty or unknown
+// key is ErrUnauthorized.
+func (a *Auth) Authenticate(key string) (Tenant, error) {
+	if key == "" {
+		return Tenant{}, ErrUnauthorized
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tb, ok := a.byKey[key]
+	if !ok {
+		return Tenant{}, ErrUnauthorized
+	}
+	return tb.t, nil
+}
+
+// allow consumes one submission token from the tenant's rate bucket,
+// reporting false when the tenant is over its rate. Tenants without a
+// rate limit always pass.
+func (a *Auth) allow(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tb, ok := a.byKey[key]
+	if !ok || tb.t.RatePerMin <= 0 {
+		return ok
+	}
+	now := a.now()
+	burst := float64(tb.t.RatePerMin)
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Minutes() * burst
+	}
+	if tb.tokens > burst {
+		tb.tokens = burst
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// apiKey extracts the request credential: Authorization: Bearer <key>
+// wins, X-API-Key is the fallback.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// metricLabel sanitizes a client- or operator-supplied name for use as
+// a metric series segment: letters, digits, '_', '-' and '.' survive,
+// everything else becomes '_', and the result is capped at 48 runes so
+// a hostile name cannot mint unbounded or unreadable series.
+func metricLabel(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if b.Len() >= 48 {
+			break
+		}
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin typed client of the analysis service's HTTP API, for
+// scripted batch submission (`redcane client` is a shell over it). It
+// wraps the same wire types the server serves — JobSpec in, JobStatus
+// out — so a Go program drives the service without hand-rolled JSON.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://host:8080".
+	Base string
+	// Key is the API key sent as Authorization: Bearer on every request;
+	// empty for an anonymous (keyless) server.
+	Key string
+	// HTTP is the underlying client (nil = a 30s-timeout default).
+	HTTP *http.Client
+}
+
+// NewClient builds a client of the server at base.
+func NewClient(base, key string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), Key: key}
+}
+
+// APIError is a non-2xx server response: the HTTP status plus the
+// server's {"error": ...} message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Submit posts one job spec and returns the created job's status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job's status, in submission order.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels one job and returns its resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a finished job's artifact in the given format (""
+// means text; see artifactFiles for the accepted keys).
+func (c *Client) Result(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/result"
+	if format != "" {
+		path += "?format=" + format
+	}
+	return c.raw(ctx, path)
+}
+
+// ServerHealth fetches GET /healthz. A draining server answers 503 with
+// a valid body, so that status is returned, not treated as an APIError.
+func (c *Client) ServerHealth(ctx context.Context) (Health, error) {
+	req, err := c.request(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return Health{}, apiError(resp)
+	}
+	var h Health
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// Wait polls until the job reaches a terminal state (done, failed,
+// cancelled) and returns its final status; poll <= 0 defaults to 500ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) request(ctx context.Context, method, path string, body any) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Key)
+	}
+	return req, nil
+}
+
+// do runs one JSON round-trip: non-2xx responses become *APIError, 2xx
+// bodies decode into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	req, err := c.request(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// raw fetches one endpoint's body verbatim (artifacts, traces).
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := c.request(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// apiError decodes a non-2xx response into an *APIError, falling back to
+// the raw body when it is not the usual {"error": ...} shape.
+func apiError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}

@@ -29,6 +29,7 @@ import (
 //	POST /v1/fleet/lease    {"worker": name}        → 200 Lease | 204 no work
 //	POST /v1/fleet/complete completeRequest         → 200 {"status": ok|duplicate}
 //	POST /v1/fleet/renew    {"lease_id": id, ...}   → 200 | 410 lease gone
+//	POST /v1/fleet/release  {"lease_id": id, ...}   → 200 {"status": released|unknown}
 //	GET  /v1/fleet          coordinator fleet state → 200 FleetStatus
 
 // SweepOptions is the wire form of the results-affecting engine options a
@@ -95,6 +96,12 @@ type WireSweep struct {
 	Options   SweepOptions `json:"options"`
 	Evals     int          `json:"evals"`
 	NB        int          `json:"nb"`
+	// Examples is the evaluation-set size, which bounds how many examples
+	// any window can hold (the last batch is usually short). The
+	// coordinator uses it to reject completions whose counts could not
+	// have come from an honest evaluation. Zero (a pre-existing
+	// registration) falls back to the whole-batch bound.
+	Examples int `json:"examples,omitempty"`
 }
 
 // Lease is one issued batch window [B0, B1): the worker evaluates it and
@@ -114,6 +121,14 @@ type leaseRequest struct {
 }
 
 type renewRequest struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker,omitempty"`
+}
+
+// releaseRequest returns a lease before its TTL: a worker that cannot
+// evaluate its window (unresolvable sweep, eval failure) hands it back
+// so another worker picks it up immediately instead of after expiry.
+type releaseRequest struct {
 	LeaseID string `json:"lease_id"`
 	Worker  string `json:"worker,omitempty"`
 }
@@ -154,7 +169,8 @@ type fleetSweep struct {
 	remaining int
 	results   chan core.WindowResult
 	closed    bool
-	done      chan struct{} // closed when every window completed
+	done      chan struct{}   // closed when every window completed
+	ctx       context.Context // the registering job's context
 }
 
 type leaseRef struct {
@@ -182,7 +198,24 @@ type FleetManager struct {
 	leases   map[string]leaseRef
 	leaseSeq int64
 	lastSeen map[string]time.Time
+	// workerSeries tracks which workers own a fleet.worker.<name>.window
+	// timer, capped at maxWorkerSeries so client-supplied names cannot
+	// mint unbounded metric series.
+	workerSeries map[string]bool
 }
+
+// Worker-state bounds: both lastSeen and the per-worker metric series are
+// keyed by client-supplied names, so both must be bounded. Workers unseen
+// for workerPruneTTLs lease lifetimes are forgotten (ephemeral
+// worker-<pid> names would otherwise accumulate forever), lastSeen never
+// exceeds maxTrackedWorkers entries (oldest evicted first), and at most
+// maxWorkerSeries workers get their own latency timer — later ones still
+// fold into the fleet-wide fleet.window series.
+const (
+	workerPruneTTLs   = 10
+	maxTrackedWorkers = 256
+	maxWorkerSeries   = 64
+)
 
 // NewFleetManager builds a manager issuing leases with the given TTL
 // (<= 0 uses DefaultLeaseTTL).
@@ -195,10 +228,56 @@ func NewFleetManager(o *obs.Obs, ttl time.Duration) *FleetManager {
 	}
 	return &FleetManager{
 		ttl: ttl, obs: o, now: time.Now,
-		sweeps:   map[string]*fleetSweep{},
-		leases:   map[string]leaseRef{},
-		lastSeen: map[string]time.Time{},
+		sweeps:       map[string]*fleetSweep{},
+		leases:       map[string]leaseRef{},
+		lastSeen:     map[string]time.Time{},
+		workerSeries: map[string]bool{},
 	}
+}
+
+// markSeenLocked records worker liveness and prunes stale entries, so the
+// worker table tracks the live fleet instead of every name ever seen.
+// Callers hold m.mu.
+func (m *FleetManager) markSeenLocked(worker string, now time.Time) {
+	cutoff := now.Add(-workerPruneTTLs * m.ttl)
+	for name, seen := range m.lastSeen {
+		if seen.Before(cutoff) {
+			delete(m.lastSeen, name)
+		}
+	}
+	if worker == "" {
+		return
+	}
+	if _, known := m.lastSeen[worker]; !known && len(m.lastSeen) >= maxTrackedWorkers {
+		// Table full of live-ish workers: evict the stalest so the newest
+		// is tracked; bounded memory beats a complete roster.
+		oldest, oldestSeen := "", now
+		for name, seen := range m.lastSeen {
+			if seen.Before(oldestSeen) {
+				oldest, oldestSeen = name, seen
+			}
+		}
+		delete(m.lastSeen, oldest)
+	}
+	m.lastSeen[worker] = now
+}
+
+// workerTimerLocked returns the worker's window-latency timer, or nil
+// when the worker is anonymous or the series budget is spent. Names are
+// sanitized — a hostile worker name cannot mint arbitrary series text.
+// Callers hold m.mu.
+func (m *FleetManager) workerTimerLocked(worker string) *obs.Timer {
+	if worker == "" {
+		return nil
+	}
+	name := metricLabel(worker)
+	if !m.workerSeries[name] {
+		if len(m.workerSeries) >= maxWorkerSeries {
+			return nil
+		}
+		m.workerSeries[name] = true
+	}
+	return m.obs.Metrics().Timer("fleet.worker." + name + ".window")
 }
 
 // TTL returns the lease lifetime.
@@ -224,7 +303,7 @@ func (f *jobFleet) RunSweep(ctx context.Context, job core.SweepJob, start int) (
 	wire := WireSweep{
 		ID: f.jobID + "/" + job.Key, JobID: f.jobID, SeedBase: job.SeedBase,
 		Scope: job.Scope, Benchmark: f.benchmark, Quick: f.quick, TrainSeed: f.trainSeed,
-		Options: optionsWire(job.Opts), Evals: job.Evals, NB: job.NB,
+		Options: optionsWire(job.Opts), Evals: job.Evals, NB: job.NB, Examples: job.Examples,
 	}
 	return f.m.runSweep(ctx, wire, start, job.Window)
 }
@@ -253,12 +332,21 @@ func (m *FleetManager) runSweep(ctx context.Context, wire WireSweep, start, wind
 		wire: wire, windows: windows, remaining: len(windows),
 		results: make(chan core.WindowResult, len(windows)+1),
 		done:    make(chan struct{}),
+		ctx:     ctx,
 	}
 
 	m.mu.Lock()
-	if _, dup := m.sweeps[wire.ID]; dup {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("fleet: sweep %s already registered", wire.ID)
+	if cur, dup := m.sweeps[wire.ID]; dup {
+		// A sweep whose job context is already cancelled is dead; its
+		// teardown goroutine just hasn't run yet. A drain-requeued job
+		// re-registering the same sweep must not lose that race, so close
+		// the husk synchronously and take its place. A live duplicate is
+		// still a caller bug.
+		if cur.ctx == nil || cur.ctx.Err() == nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("fleet: sweep %s already registered", wire.ID)
+		}
+		m.closeSweepLocked(cur)
 	}
 	m.sweeps[wire.ID] = fs
 	m.order = append(m.order, wire.ID)
@@ -316,9 +404,7 @@ func (m *FleetManager) Lease(worker string) (Lease, bool) {
 	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if worker != "" {
-		m.lastSeen[worker] = now
-	}
+	m.markSeenLocked(worker, now)
 	for _, id := range m.order {
 		fs := m.sweeps[id]
 		for i, w := range fs.windows {
@@ -361,9 +447,7 @@ func (m *FleetManager) Renew(leaseID, worker string) bool {
 	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if worker != "" {
-		m.lastSeen[worker] = now
-	}
+	m.markSeenLocked(worker, now)
 	ref, ok := m.leases[leaseID]
 	if !ok {
 		return false
@@ -375,6 +459,35 @@ func (m *FleetManager) Renew(leaseID, worker string) bool {
 	}
 	w.expires = now.Add(m.ttl)
 	m.obs.Metrics().Counter("fleet.leases.renewed").Inc()
+	return true
+}
+
+// Release returns a leased window to pending before its TTL, so a worker
+// that cannot evaluate it (unresolvable sweep, eval failure) does not
+// leave the window dead until expiry. Idempotent: releasing a lease that
+// already completed, expired, was re-issued, or never existed reports
+// false and changes nothing.
+func (m *FleetManager) Release(leaseID, worker string) bool {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.markSeenLocked(worker, now)
+	ref, ok := m.leases[leaseID]
+	if !ok {
+		return false
+	}
+	fs := m.sweeps[ref.sweepID]
+	w := fs.windows[ref.idx]
+	if w.done || w.leaseID != leaseID {
+		return false
+	}
+	delete(m.leases, leaseID)
+	w.leaseID = ""
+	w.worker = ""
+	m.obs.Metrics().Counter("fleet.leases.released").Inc()
+	m.obs.Info("lease released; window back to pending",
+		obs.F("sweep", ref.sweepID), obs.F("window", fmt.Sprintf("[%d,%d)", w.b0, w.b1)),
+		obs.F("worker", worker))
 	return true
 }
 
@@ -398,9 +511,7 @@ func (m *FleetManager) Complete(req completeRequest) (string, error) {
 	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if req.Worker != "" {
-		m.lastSeen[req.Worker] = now
-	}
+	m.markSeenLocked(req.Worker, now)
 	fs, ok := m.sweeps[req.SweepID]
 	if !ok {
 		return "", errUnknownSweep
@@ -419,6 +530,33 @@ func (m *FleetManager) Complete(req completeRequest) (string, error) {
 		return "", fmt.Errorf("fleet: window [%d, %d) completion carries %d counts, want %d",
 			req.B0, req.B1, len(req.Correct), fs.wire.Evals)
 	}
+	// Correct-counts are numbers of correctly-classified examples in the
+	// window, so each must lie in [0, window example count]. A count
+	// outside that range cannot come from an honest evaluation — folding
+	// it would silently corrupt the sweep's accuracy, so reject it before
+	// it reaches a checkpoint. The bound needs the batch size to exist;
+	// negatives are impossible regardless.
+	maxCorrect := -1
+	if batch := fs.wire.Options.Batch; batch > 0 {
+		maxCorrect = (req.B1 - req.B0) * batch
+		if fs.wire.Examples > 0 {
+			if hi := fs.wire.Examples - req.B0*batch; hi < maxCorrect {
+				maxCorrect = hi
+			}
+		}
+	}
+	for i, c := range req.Correct {
+		switch {
+		case c < 0:
+			m.obs.Metrics().Counter("fleet.completions.out_of_range").Inc()
+			return "", fmt.Errorf("fleet: window [%d, %d) count[%d] = %d is negative",
+				req.B0, req.B1, i, c)
+		case maxCorrect >= 0 && c > maxCorrect:
+			m.obs.Metrics().Counter("fleet.completions.out_of_range").Inc()
+			return "", fmt.Errorf("fleet: window [%d, %d) count[%d] = %d out of range [0, %d]",
+				req.B0, req.B1, i, c, maxCorrect)
+		}
+	}
 	if w.done {
 		m.obs.Metrics().Counter("fleet.leases.duplicate").Inc()
 		return CompleteDuplicate, nil
@@ -431,8 +569,8 @@ func (m *FleetManager) Complete(req completeRequest) (string, error) {
 	if !w.issuedAt.IsZero() {
 		d := now.Sub(w.issuedAt)
 		m.obs.Metrics().Timer("fleet.window").Observe(d)
-		if req.Worker != "" {
-			m.obs.Metrics().Timer("fleet.worker." + req.Worker + ".window").Observe(d)
+		if t := m.workerTimerLocked(req.Worker); t != nil {
+			t.Observe(d)
 		}
 	}
 	m.obs.Metrics().Counter("fleet.leases.completed").Inc()
@@ -444,11 +582,14 @@ func (m *FleetManager) Complete(req completeRequest) (string, error) {
 	return CompleteOK, nil
 }
 
-// Status snapshots the fleet for GET /v1/fleet.
+// Status snapshots the fleet for GET /v1/fleet. Workers unseen for
+// workerPruneTTLs lease lifetimes have left the fleet and are pruned,
+// not reported.
 func (m *FleetManager) Status() FleetStatus {
 	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.markSeenLocked("", now)
 	st := FleetStatus{Sweeps: len(m.sweeps), LeaseTTLMs: m.ttl.Milliseconds()}
 	for _, fs := range m.sweeps {
 		for _, w := range fs.windows {
@@ -527,6 +668,21 @@ func (h *serverHandler) fleetRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "renewed"})
+}
+
+// fleetRelease hands a lease back before expiry. Always 200 — release
+// is advisory and idempotent; a lease that is already gone (completed,
+// expired, re-issued) just reports "unknown".
+func (h *serverHandler) fleetRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !decodeFleet(w, r, &req) {
+		return
+	}
+	status := "released"
+	if !h.s.fleet.Release(req.LeaseID, req.Worker) {
+		status = "unknown"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
 func (h *serverHandler) fleetStatus(w http.ResponseWriter, r *http.Request) {

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -79,7 +78,19 @@ type JobSpec struct {
 	// validate jobs (no sweeps to distribute) and with probes (probe
 	// stats never travel the wire).
 	Distributed bool `json:"distributed,omitempty"`
+	// Priority orders the job in the queue: "low", "normal" (or ""), or
+	// "high". Higher priorities dequeue first — no preemption, so a quick
+	// high-priority validate runs ahead of queued methodology runs but
+	// never interrupts one. Like distributed, it is a scheduling knob:
+	// absent from the engine fingerprint, no effect on artifacts.
+	Priority string `json:"priority,omitempty"`
 }
+
+// The priority levels a spec may name, and their queue ranks.
+var priorityRanks = map[string]int{"low": -1, "": 0, "high": 1}
+
+// priorityRank resolves a normalized priority to its queue rank.
+func priorityRank(p string) int { return priorityRanks[p] }
 
 // normalize validates the spec in place, canonicalizing the kind and
 // benchmark key and filling defaults. Errors are user errors (HTTP 400).
@@ -173,6 +184,13 @@ func (spec *JobSpec) normalize() error {
 	if spec.Squash == "exact" {
 		spec.Squash = ""
 	}
+	spec.Priority = strings.ToLower(strings.TrimSpace(spec.Priority))
+	if spec.Priority == "normal" {
+		spec.Priority = "" // canonical form, like softmax "exact"
+	}
+	if _, ok := priorityRanks[spec.Priority]; !ok {
+		return fmt.Errorf("unknown priority %q (valid: low, normal, high)", spec.Priority)
+	}
 	return nil
 }
 
@@ -191,40 +209,29 @@ type Artifacts struct {
 	ProbesJSON []byte
 }
 
-// artifact file names under a job directory, by ?format= key.
+// artifact file names in the job store, by ?format= key.
 var artifactFiles = map[string]struct{ name, contentType string }{
-	"text":   {"result.txt", "text/plain; charset=utf-8"},
-	"csv":    {"result.csv", "text/csv; charset=utf-8"},
-	"json":   {"result.json", "application/json"},
-	"probes": {"probes.json", "application/json"},
+	"text":       {"result.txt", "text/plain; charset=utf-8"},
+	"csv":        {"result.csv", "text/csv; charset=utf-8"},
+	"json":       {"result.json", "application/json"},
+	"probes":     {"probes.json", "application/json"},
+	"probes-csv": {"probes.csv", "text/csv; charset=utf-8"},
 }
 
-// write persists the artifacts into the job directory.
-func (a Artifacts) write(dir string) error {
-	if err := os.WriteFile(filepath.Join(dir, "result.txt"), []byte(a.Text), 0o644); err != nil {
-		return err
-	}
-	if a.CSV != nil {
-		if err := os.WriteFile(filepath.Join(dir, "result.csv"), a.CSV, 0o644); err != nil {
-			return err
+// files maps the present artifacts to their store names for persistence.
+func (a Artifacts) files() map[string][]byte {
+	out := map[string][]byte{"result.txt": []byte(a.Text)}
+	for name, data := range map[string][]byte{
+		"result.csv":  a.CSV,
+		"result.json": a.JSON,
+		"probes.csv":  a.ProbesCSV,
+		"probes.json": a.ProbesJSON,
+	} {
+		if data != nil {
+			out[name] = data
 		}
 	}
-	if a.JSON != nil {
-		if err := os.WriteFile(filepath.Join(dir, "result.json"), a.JSON, 0o644); err != nil {
-			return err
-		}
-	}
-	if a.ProbesCSV != nil {
-		if err := os.WriteFile(filepath.Join(dir, "probes.csv"), a.ProbesCSV, 0o644); err != nil {
-			return err
-		}
-	}
-	if a.ProbesJSON != nil {
-		if err := os.WriteFile(filepath.Join(dir, "probes.json"), a.ProbesJSON, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
+	return out
 }
 
 // renderer / csvWriter mirror the result interfaces the CLI consumes.

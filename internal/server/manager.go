@@ -25,8 +25,8 @@
 package server
 
 import (
+	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -70,8 +70,17 @@ type RunFunc func(ctx context.Context, spec JobSpec, jobDir string, o *obs.Obs) 
 // Config parameterizes the service.
 type Config struct {
 	// StateDir roots all persistence: the shared weight cache, and under
-	// jobs/<id>/ each job's spec, checkpoints and artifacts.
+	// jobs/<id>/ each job's spec, checkpoints and artifacts. Required
+	// unless Store is supplied (a custom store still wants StateDir for
+	// the weight cache and the drain metrics snapshot).
 	StateDir string
+	// Store overrides job persistence (manifests, artifacts, working
+	// dirs). Nil uses the directory store over StateDir — the layout the
+	// service always had.
+	Store JobStore
+	// Auth is the API-key table. Nil runs the anonymous single-tenant
+	// mode: no credentials, no per-tenant limits.
+	Auth *Auth
 	// Quick selects the reduced dataset/epoch/evaluation sizes,
 	// mirroring the CLI's -quick.
 	Quick bool
@@ -109,6 +118,8 @@ type job struct {
 	dir     string
 	state   string
 	errMsg  string
+	tenant  string // "" in anonymous mode
+	rank    int    // resolved priority (higher runs first)
 	created time.Time
 	started time.Time
 	ended   time.Time
@@ -125,6 +136,7 @@ type jobFile struct {
 	Spec    JobSpec   `json:"spec"`
 	State   string    `json:"state"`
 	Error   string    `json:"error,omitempty"`
+	Tenant  string    `json:"tenant,omitempty"`
 	Created time.Time `json:"created"`
 	Started time.Time `json:"started"`
 	Ended   time.Time `json:"ended"`
@@ -135,6 +147,8 @@ type jobFile struct {
 type Server struct {
 	cfg     Config
 	obs     *obs.Obs
+	store   JobStore
+	auth    *Auth
 	handler *serverHandler
 	fleet   *FleetManager
 	started time.Time
@@ -144,9 +158,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	pending  []*job // admitted, waiting for a slot, FIFO
+	pending  []*job // admitted, waiting for a slot (see pickLocked)
 	running  int
 	nextSeq  int
+	pickSeq  int64            // monotonic scheduling clock for fairness
+	lastPick map[string]int64 // tenant → pickSeq of its last scheduled job
 	draining bool
 	wg       sync.WaitGroup // one entry per running job goroutine
 }
@@ -155,7 +171,7 @@ type Server struct {
 // persisted jobs (they resume from their checkpoints) and scheduling
 // them immediately.
 func New(cfg Config) (*Server, error) {
-	if cfg.StateDir == "" {
+	if cfg.StateDir == "" && cfg.Store == nil {
 		return nil, errors.New("server: Config.StateDir is required")
 	}
 	if cfg.Slots <= 0 {
@@ -171,12 +187,19 @@ func New(cfg Config) (*Server, error) {
 	if o == nil {
 		o = obs.New(obs.Off, nil) // metrics registry only
 	}
-	s := &Server{cfg: cfg, obs: o, jobs: map[string]*job{}, started: time.Now()}
+	store := cfg.Store
+	if store == nil {
+		var err error
+		if store, err = NewDirStore(cfg.StateDir, o); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg: cfg, obs: o, store: store, auth: cfg.Auth,
+		jobs: map[string]*job{}, lastPick: map[string]int64{}, started: time.Now(),
+	}
 	s.fleet = NewFleetManager(o, cfg.LeaseTTL)
 	s.handler = newHandler(s)
-	if err := os.MkdirAll(s.jobsRoot(), 0o755); err != nil {
-		return nil, fmt.Errorf("server: %w", err)
-	}
 	if err := s.loadJobs(); err != nil {
 		return nil, err
 	}
@@ -185,8 +208,6 @@ func New(cfg Config) (*Server, error) {
 	s.mu.Unlock()
 	return s, nil
 }
-
-func (s *Server) jobsRoot() string { return filepath.Join(s.cfg.StateDir, "jobs") }
 
 // jobWorkers is each running job's share of the process worker budget.
 func (s *Server) jobWorkers() int {
@@ -197,34 +218,26 @@ func (s *Server) jobWorkers() int {
 	return w
 }
 
-// loadJobs restores the persisted jobs. Finished jobs become inert
-// records serving their artifacts; queued or running ones are
-// re-admitted as queued, in submission (ID) order, bypassing the queue
-// bound (they were admitted before the restart).
+// loadJobs restores the persisted jobs from the store. Finished jobs
+// become inert records serving their artifacts; queued or running ones
+// are re-admitted as queued, in submission (ID) order, bypassing the
+// queue bound (they were admitted before the restart).
 func (s *Server) loadJobs() error {
-	entries, err := os.ReadDir(s.jobsRoot())
+	manifests, err := s.store.Load()
 	if err != nil {
-		return fmt.Errorf("server: %w", err)
+		return err
 	}
 	var restored []*job
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		path := filepath.Join(s.jobsRoot(), e.Name(), "job.json")
-		data, err := os.ReadFile(path)
+	for _, jf := range manifests {
+		dir, err := s.store.Dir(jf.ID)
 		if err != nil {
-			s.obs.Warn("job manifest unreadable; skipping", obs.F("path", path), obs.F("err", err))
-			continue
-		}
-		var jf jobFile
-		if err := json.Unmarshal(data, &jf); err != nil || jf.ID != e.Name() {
-			s.obs.Warn("job manifest corrupt; skipping", obs.F("path", path), obs.F("err", err))
+			s.obs.Warn("job dir unavailable; skipping", obs.F("id", jf.ID), obs.F("err", err))
 			continue
 		}
 		j := &job{
-			id: jf.ID, spec: jf.Spec, dir: filepath.Join(s.jobsRoot(), jf.ID),
+			id: jf.ID, spec: jf.Spec, dir: dir,
 			state: jf.State, errMsg: jf.Error,
+			tenant: jf.Tenant, rank: priorityRank(jf.Spec.Priority),
 			created: jf.Created, started: jf.Started, ended: jf.Ended,
 			events: obs.NewSubSink(0),
 		}
@@ -256,14 +269,32 @@ func (s *Server) loadJobs() error {
 	return nil
 }
 
-// Submit admits one job. The spec must already be normalized.
-func (s *Server) Submit(spec JobSpec) (*job, error) {
+// Submit admits one anonymous job. The spec must already be normalized.
+func (s *Server) Submit(spec JobSpec) (*job, error) { return s.SubmitAs(spec, Tenant{}) }
+
+// SubmitAs admits one job on behalf of a tenant (zero Tenant =
+// anonymous), enforcing the tenant's rate limit and queue quota before
+// the server-wide queue bound. The spec must already be normalized.
+func (s *Server) SubmitAs(spec JobSpec, tenant Tenant) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, ErrDraining
 	}
+	if tenant.Name != "" {
+		if s.auth != nil && !s.auth.allow(tenant.Key) {
+			s.tenantCounter(tenant.Name, "rejected").Inc()
+			return nil, ErrRateLimited
+		}
+		if tenant.MaxQueued > 0 && s.queuedByLocked(tenant.Name) >= tenant.MaxQueued {
+			s.tenantCounter(tenant.Name, "rejected").Inc()
+			return nil, ErrTenantQuota
+		}
+	}
 	if len(s.pending) >= s.cfg.QueueCap {
+		if tenant.Name != "" {
+			s.tenantCounter(tenant.Name, "rejected").Inc()
+		}
 		return nil, ErrQueueFull
 	}
 	s.nextSeq++
@@ -271,27 +302,88 @@ func (s *Server) Submit(spec JobSpec) (*job, error) {
 		id:      fmt.Sprintf("j%06d", s.nextSeq),
 		spec:    spec,
 		state:   StateQueued,
+		tenant:  tenant.Name,
+		rank:    priorityRank(spec.Priority),
 		created: time.Now(),
 		events:  obs.NewSubSink(0),
 	}
-	j.dir = filepath.Join(s.jobsRoot(), j.id)
-	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+	dir, err := s.store.Dir(j.id)
+	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	j.dir = dir
 	s.jobs[j.id] = j
 	s.pending = append(s.pending, j)
 	s.persistLocked(j)
+	if tenant.Name != "" {
+		s.tenantCounter(tenant.Name, "submitted").Inc()
+	}
 	s.obs.Info("job submitted", obs.F("id", j.id), obs.F("kind", spec.Kind),
-		obs.F("benchmark", spec.Benchmark), obs.F("queued", len(s.pending)))
+		obs.F("benchmark", spec.Benchmark), obs.F("tenant", j.tenant),
+		obs.F("priority", spec.Priority), obs.F("queued", len(s.pending)))
 	s.schedule()
 	return j, nil
 }
 
+// tenantCounter names a per-tenant admission counter in the process
+// registry (server.tenant.<name>.<what>); names are sanitized so a
+// tenant label cannot mint hostile series.
+func (s *Server) tenantCounter(tenant, what string) *obs.Counter {
+	return s.obs.Metrics().Counter("server.tenant." + metricLabel(tenant) + "." + what)
+}
+
+// queuedByLocked counts a tenant's queued jobs. Callers hold s.mu.
+func (s *Server) queuedByLocked(tenant string) int {
+	n := 0
+	for _, j := range s.pending {
+		if j.tenant == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+// pickLocked selects the next queued job: highest priority first; among
+// equals, the tenant least recently scheduled (round-robin fairness, so
+// one tenant's burst cannot starve another's jobs of the same
+// priority); within a tenant, FIFO. In anonymous mode every job shares
+// one tenant, so the pick degenerates to the plain FIFO the
+// single-tenant server always had. Callers hold s.mu. Returns an index
+// into s.pending, or -1.
+func (s *Server) pickLocked() int {
+	best := -1
+	for i, j := range s.pending {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := s.pending[best]
+		if j.rank != b.rank {
+			if j.rank > b.rank {
+				best = i
+			}
+			continue
+		}
+		// Equal priority: least-recently-picked tenant wins; ties keep
+		// the earlier submission (FIFO).
+		if s.lastPick[j.tenant] < s.lastPick[b.tenant] {
+			best = i
+		}
+	}
+	return best
+}
+
 // schedule starts pending jobs while slots are free. Callers hold s.mu.
 func (s *Server) schedule() {
-	for !s.draining && s.running < s.cfg.Slots && len(s.pending) > 0 {
-		j := s.pending[0]
-		s.pending = s.pending[1:]
+	for !s.draining && s.running < s.cfg.Slots {
+		i := s.pickLocked()
+		if i < 0 {
+			return
+		}
+		j := s.pending[i]
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		s.pickSeq++
+		s.lastPick[j.tenant] = s.pickSeq
 		ctx, cancel := context.WithCancel(context.Background())
 		j.state = StateRunning
 		j.started = time.Now()
@@ -333,9 +425,13 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job) 
 
 	var writeErr error
 	if err == nil {
-		writeErr = art.write(j.dir)
+		for name, data := range art.files() {
+			if werr := s.store.PutArtifact(j.id, name, data); werr != nil && writeErr == nil {
+				writeErr = fmt.Errorf("%s: %w", name, werr)
+			}
+		}
 	}
-	if terr := writeTrace(j.dir, tr); terr != nil {
+	if terr := s.writeTrace(j.id, tr); terr != nil {
 		o.Warn("job trace write failed", obs.F("id", j.id), obs.F("err", terr))
 	}
 
@@ -459,24 +555,24 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // writeTrace persists a job's execution trace (Chrome trace-event JSON)
-// beside its artifacts, served by GET /v1/jobs/{id}/trace. A drained job
-// that reruns later simply overwrites it.
-func writeTrace(dir string, tr *obs.Trace) error {
-	f, err := os.Create(filepath.Join(dir, "trace.json"))
-	if err != nil {
+// as an artifact, served by GET /v1/jobs/{id}/trace. A drained job that
+// reruns later simply overwrites it.
+func (s *Server) writeTrace(id string, tr *obs.Trace) error {
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
 		return err
 	}
-	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return s.store.PutArtifact(id, "trace.json", buf.Bytes())
 }
 
 // writeMetricsSnapshot flushes the process metrics registry to
 // <state>/metrics.json, reporting the close error (a full disk must not
-// masquerade as a successful flush).
+// masquerade as a successful flush). Servers without a state directory
+// (custom store, no StateDir) have nowhere to flush and skip it.
 func (s *Server) writeMetricsSnapshot() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
 	path := filepath.Join(s.cfg.StateDir, "metrics.json")
 	f, err := os.Create(path)
 	if err != nil {
@@ -489,22 +585,15 @@ func (s *Server) writeMetricsSnapshot() error {
 	return f.Close()
 }
 
-// persistLocked writes a job's manifest (crash-safe: temp + rename).
-// Callers hold s.mu. Persistence failures degrade to a warning — the
-// in-memory job keeps serving, it just won't survive a restart cleanly.
+// persistLocked records a job's manifest in the store. Callers hold
+// s.mu. Persistence failures degrade to a warning — the in-memory job
+// keeps serving, it just won't survive a restart cleanly.
 func (s *Server) persistLocked(j *job) {
 	jf := jobFile{
-		ID: j.id, Spec: j.spec, State: j.state, Error: j.errMsg,
+		ID: j.id, Spec: j.spec, State: j.state, Error: j.errMsg, Tenant: j.tenant,
 		Created: j.created, Started: j.started, Ended: j.ended,
 	}
-	data, err := json.MarshalIndent(jf, "", " ")
-	if err == nil {
-		tmp := filepath.Join(j.dir, "job.json.tmp")
-		if err = os.WriteFile(tmp, data, 0o644); err == nil {
-			err = os.Rename(tmp, filepath.Join(j.dir, "job.json"))
-		}
-	}
-	if err != nil {
+	if err := s.store.Put(jf); err != nil {
 		s.obs.Warn("job manifest write failed", obs.F("id", j.id), obs.F("err", err))
 	}
 }

@@ -240,12 +240,28 @@ func TestProbesArtifactFormat(t *testing.T) {
 		t.Fatalf("probes Content-Type = %q", ct)
 	}
 
-	// A job that did not record probes 404s for the format instead of
+	// The CSV twin the README documents is served as probes-csv.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=probes-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(data) != string(art.ProbesCSV) {
+		t.Fatalf("probes-csv artifact: HTTP %d, body %q", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv; charset=utf-8" {
+		t.Fatalf("probes-csv Content-Type = %q", ct)
+	}
+
+	// A job that did not record probes 404s for both formats instead of
 	// serving an empty body.
 	_, ts2 := newTestServer(t, Config{}, instantRun(Artifacts{Text: "ok\n"}))
 	st2, _ := postJob(t, ts2, `{"kind":"group-sweep"}`)
 	waitState(t, ts2, st2.ID, StateDone)
-	if code := getJSON(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result?format=probes", nil); code != http.StatusNotFound {
-		t.Fatalf("missing probes artifact: HTTP %d", code)
+	for _, format := range []string{"probes", "probes-csv"} {
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result?format="+format, nil); code != http.StatusNotFound {
+			t.Fatalf("missing %s artifact: HTTP %d", format, code)
+		}
 	}
 }

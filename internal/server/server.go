@@ -4,9 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
-	"os"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -26,6 +25,7 @@ import (
 //	POST   /v1/fleet/lease      worker leases a window  → 200 Lease, 204 idle
 //	POST   /v1/fleet/complete   worker reports counts   → 200, 404, 400
 //	POST   /v1/fleet/renew      worker heartbeat        → 200, 410 gone
+//	POST   /v1/fleet/release    worker returns a lease  → 200 (idempotent)
 //	GET    /v1/fleet            fleet / lease state     → 200 FleetStatus
 //	GET    /healthz             liveness + queue depth  → 200, 503 draining
 //	GET    /metricsz            process metrics snapshot (JSON, or
@@ -33,7 +33,9 @@ import (
 //
 // Error responses are {"error": "..."} with the usual status mapping:
 // 400 invalid spec, 404 unknown job, 409 result not ready, 429 queue
-// full, 503 draining.
+// full / rate or quota exceeded, 503 draining. On a keyed server
+// (serve -keys), POST /v1/jobs additionally answers 401 unless the
+// request carries a known API key (Authorization: Bearer or X-API-Key).
 
 // JobStatus is the wire form of a job's state, shared by every endpoint
 // that returns a job.
@@ -42,6 +44,7 @@ type JobStatus struct {
 	Spec     JobSpec   `json:"spec"`
 	State    string    `json:"state"`
 	Error    string    `json:"error,omitempty"`
+	Tenant   string    `json:"tenant,omitempty"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Ended    time.Time `json:"ended"`
@@ -52,7 +55,7 @@ type JobStatus struct {
 // statusLocked snapshots a job's status. Callers hold s.mu.
 func statusLocked(j *job) JobStatus {
 	return JobStatus{
-		ID: j.id, Spec: j.spec, State: j.state, Error: j.errMsg,
+		ID: j.id, Spec: j.spec, State: j.state, Error: j.errMsg, Tenant: j.tenant,
 		Created: j.created, Started: j.started, Ended: j.ended,
 		Progress: j.progress, ETA: j.eta,
 	}
@@ -150,6 +153,7 @@ func newHandler(s *Server) *serverHandler {
 	h.mux.HandleFunc("POST /v1/fleet/lease", h.fleetLease)
 	h.mux.HandleFunc("POST /v1/fleet/complete", h.fleetComplete)
 	h.mux.HandleFunc("POST /v1/fleet/renew", h.fleetRenew)
+	h.mux.HandleFunc("POST /v1/fleet/release", h.fleetRelease)
 	h.mux.HandleFunc("GET /v1/fleet", h.fleetStatus)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /metricsz", h.metricsz)
@@ -169,6 +173,15 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (h *serverHandler) submit(w http.ResponseWriter, r *http.Request) {
+	var tenant Tenant
+	if h.s.auth != nil {
+		t, err := h.s.auth.Authenticate(apiKey(r))
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, "%v", err)
+			return
+		}
+		tenant = t
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -180,9 +193,9 @@ func (h *serverHandler) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	j, err := h.s.Submit(spec)
+	j, err := h.s.SubmitAs(spec, tenant)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited), errors.Is(err, ErrTenantQuota):
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -284,11 +297,12 @@ func (h *serverHandler) result(w http.ResponseWriter, r *http.Request) {
 	}
 	af, ok := artifactFiles[format]
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "unknown format %q (valid: text, csv, json, probes)", format)
+		writeErr(w, http.StatusBadRequest,
+			"unknown format %q (valid: text, csv, json, probes, probes-csv)", format)
 		return
 	}
-	data, err := os.ReadFile(filepath.Join(h.s.jobsRoot(), id, af.name))
-	if errors.Is(err, os.ErrNotExist) {
+	data, err := h.s.store.Artifact(id, af.name)
+	if errors.Is(err, fs.ErrNotExist) {
 		writeErr(w, http.StatusNotFound, "job %s has no %s artifact", id, format)
 		return
 	}
@@ -319,8 +333,8 @@ func (h *serverHandler) trace(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	data, err := os.ReadFile(filepath.Join(h.s.jobsRoot(), id, "trace.json"))
-	if errors.Is(err, os.ErrNotExist) {
+	data, err := h.s.store.Artifact(id, "trace.json")
+	if errors.Is(err, fs.ErrNotExist) {
 		writeErr(w, http.StatusConflict, "job %s has no trace yet", id)
 		return
 	}

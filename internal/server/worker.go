@@ -78,27 +78,38 @@ func (wk *Worker) Run(ctx context.Context) error {
 			o.Warn("lease request failed", obs.F("err", err))
 			ok = false
 		}
+		if ok {
+			// A lease this worker had to give back (bad sweep, eval
+			// failure) counts as no work: back off by the poll interval so
+			// a broken worker does not spin hot re-leasing the windows it
+			// keeps releasing.
+			ok = wk.runLease(ctx, lease)
+		}
 		if !ok {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
 			case <-time.After(wk.Poll):
 			}
-			continue
 		}
-		wk.runLease(ctx, lease)
 	}
 }
 
-// runLease evaluates one leased window and reports its counts. Failures
-// are deliberately quiet on the wire: an abandoned lease expires on its
-// own and the window is re-issued, which is the protocol's one recovery
-// mechanism.
-func (wk *Worker) runLease(ctx context.Context, lease Lease) {
+// runLease evaluates one leased window and reports its counts. A window
+// this worker knows it cannot (or failed to) evaluate is released back
+// to the coordinator so a healthier fleet member picks it up immediately
+// — only a crash leaves a lease to die of TTL expiry, which is the
+// protocol's recovery of last resort.
+func (wk *Worker) runLease(ctx context.Context, lease Lease) bool {
 	o := wk.Obs
 	ws := lease.Sweep
 	if wk.bad[ws.ID] {
-		return // reported once already; let the lease expire
+		// Known-bad sweep (reported once already). The coordinator still
+		// hands its windows to whoever polls, so give each one straight
+		// back — a worker that merely abandoned them would serially lease
+		// every window and leave each dead until its TTL.
+		wk.release(ctx, lease)
+		return false
 	}
 	a, err := wk.Resolve(ws)
 	if err == nil {
@@ -110,9 +121,10 @@ func (wk *Worker) runLease(ctx context.Context, lease Lease) {
 	}
 	if err != nil {
 		wk.bad[ws.ID] = true
-		o.Error("cannot run sweep; leaving its windows to the fleet",
+		o.Error("cannot run sweep; releasing its windows to the fleet",
 			obs.F("sweep", ws.ID), obs.F("err", err))
-		return
+		wk.release(ctx, lease)
+		return false
 	}
 
 	// Heartbeat: renew at TTL/3 so a healthy worker never loses a long
@@ -150,10 +162,12 @@ func (wk *Worker) runLease(ctx context.Context, lease Lease) {
 	hb.Wait()
 	if err != nil {
 		if ctx.Err() == nil && wctx.Err() == nil {
-			o.Error("window evaluation failed", obs.F("sweep", ws.ID),
+			o.Error("window evaluation failed; releasing it",
+				obs.F("sweep", ws.ID),
 				obs.F("window", fmt.Sprintf("[%d,%d)", lease.B0, lease.B1)), obs.F("err", err))
+			wk.release(ctx, lease)
 		}
-		return
+		return false
 	}
 	o.Metrics().Counter("fleet.worker.windows").Inc()
 	o.Metrics().Timer("fleet.worker.window").Observe(time.Since(t0))
@@ -161,6 +175,7 @@ func (wk *Worker) runLease(ctx context.Context, lease Lease) {
 		obs.F("window", fmt.Sprintf("[%d,%d)", lease.B0, lease.B1)),
 		obs.F("dur", time.Since(t0).Round(time.Millisecond)))
 	wk.complete(ctx, lease, correct)
+	return true
 }
 
 // lease requests the next window; ok=false means no work right now.
@@ -208,6 +223,20 @@ func (wk *Worker) complete(ctx context.Context, lease Lease, correct []int) {
 	}
 	if code != http.StatusOK && code != http.StatusNotFound {
 		wk.Obs.Warn("completion rejected", obs.F("sweep", lease.Sweep.ID), obs.F("http", code))
+	}
+}
+
+// release hands a lease back to the coordinator so its window returns to
+// pending without waiting out the TTL. Best-effort: on any failure the
+// TTL remains the backstop.
+func (wk *Worker) release(ctx context.Context, lease Lease) {
+	if ctx.Err() != nil {
+		return
+	}
+	req := releaseRequest{LeaseID: lease.LeaseID, Worker: wk.Name}
+	if _, err := wk.post(ctx, "/v1/fleet/release", req, nil); err != nil {
+		wk.Obs.Warn("lease release failed; window waits out its TTL",
+			obs.F("sweep", lease.Sweep.ID), obs.F("err", err))
 	}
 }
 
